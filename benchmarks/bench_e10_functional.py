@@ -1,0 +1,66 @@
+"""E10 — functional correctness and wrong-key corruption.
+
+§II's correctness premise: "A correct key preserves the original circuit
+behavior, while incorrect keys lead to erroneous outputs." This bench
+verifies both halves quantitatively for every scheme, including an
+AutoLock-evolved design.
+
+Shape expectations: zero error under the correct key; clearly positive
+error under random wrong keys.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, scaled
+
+from repro.circuits import load_circuit
+from repro.ec import AutoLock, AutoLockConfig
+from repro.locking import DMuxLocking, RandomLogicLocking
+from repro.metrics import corruption_report
+
+
+def run_functional() -> list:
+    rows = []
+    for cname in ["c432_syn", "c1355_syn"]:
+        circuit = load_circuit(cname)
+        designs = [
+            RandomLogicLocking().lock(circuit, 32, seed_or_rng=3),
+            DMuxLocking("shared").lock(circuit, 32, seed_or_rng=3),
+            DMuxLocking("two_key").lock(circuit, 32, seed_or_rng=3),
+        ]
+        config = AutoLockConfig(
+            key_length=16,
+            population_size=scaled(6, minimum=4),
+            generations=scaled(4, minimum=2),
+            fitness_predictor="bayes",
+            report_predictor="bayes",
+            seed=31,
+        )
+        designs.append(AutoLock(config).run(circuit).locked)
+        for locked in designs:
+            rows.append(
+                corruption_report(
+                    locked, n_wrong_keys=8, n_patterns=1024, seed_or_rng=1
+                )
+            )
+    return rows
+
+
+def test_e10_functional(benchmark):
+    rows = benchmark.pedantic(run_functional, rounds=1, iterations=1)
+    print_header(
+        "E10",
+        "Functional correctness + wrong-key output corruption",
+        "§II correctness premise",
+    )
+    for report in rows:
+        print(report.as_row())
+
+    for report in rows:
+        assert report.correct_key_error == 0.0, (
+            f"{report.design}/{report.scheme}: correct key corrupted outputs!"
+        )
+        assert report.mean_random_wrong_error > 0.005, (
+            f"{report.design}/{report.scheme}: wrong keys barely corrupt "
+            f"({report.mean_random_wrong_error:.4f})"
+        )

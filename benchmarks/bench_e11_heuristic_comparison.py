@@ -1,0 +1,85 @@
+"""E11 — which heuristic suits locking automation? (research plan, §III)
+
+"We will explore other techniques out of the evolutionary computation
+field to better understand what heuristics are more suitable for this
+form of automation." Budget-matched comparison of the GA against random
+search, hill climbing and simulated annealing on the same fitness oracle.
+
+Shape expectation: every informed heuristic beats random search's final
+fitness or at least matches it; the GA is competitive with the best
+single-trajectory method.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, scaled
+
+from repro.circuits import load_circuit
+from repro.ec import (
+    GaConfig,
+    GeneticAlgorithm,
+    HillClimber,
+    MuxLinkFitness,
+    RandomSearch,
+    SimulatedAnnealing,
+)
+from repro.ec.fitness import FitnessCache
+
+_KEY_LENGTH = 16
+
+
+def run_comparison():
+    circuit = load_circuit("c1355_syn")
+    budget = scaled(80, minimum=20)
+
+    def fresh_fitness():
+        return MuxLinkFitness(
+            circuit, predictor="bayes", attack_seed=0xE11, cache=FitnessCache()
+        )
+
+    rows = []
+    ga_fit = fresh_fitness()
+    pop = max(4, budget // 10)
+    config = GaConfig(
+        key_length=_KEY_LENGTH,
+        population_size=pop,
+        generations=max(2, budget // pop),
+        seed=41,
+    )
+    ga = GeneticAlgorithm(config).run(circuit, ga_fit)
+    rows.append(("ga", ga.best_fitness, ga.evaluations, ga.history[0].best))
+
+    for searcher in (
+        RandomSearch(_KEY_LENGTH, evaluations=budget, seed=41),
+        HillClimber(_KEY_LENGTH, evaluations=budget, seed=41),
+        SimulatedAnnealing(_KEY_LENGTH, evaluations=budget, seed=41),
+    ):
+        result = searcher.run(circuit, fresh_fitness())
+        rows.append(
+            (searcher.name, result.best_fitness, result.evaluations,
+             result.trajectory[0])
+        )
+    return rows
+
+
+def test_e11_heuristic_comparison(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print_header(
+        "E11",
+        "Heuristic comparison at matched evaluation budget",
+        "§III last bullet (beyond-EC heuristics)",
+    )
+    print(f"{'heuristic':<22} {'final best':>11} {'first eval':>11} {'evals':>6}")
+    finals = {}
+    for name, final, evals, first in rows:
+        print(f"{name:<22} {final:>11.3f} {first:>11.3f} {evals:>6}")
+        finals[name] = final
+
+    assert finals["ga"] <= finals["random_search"] + 0.05, (
+        "GA must be competitive with random search"
+    )
+    informed = [finals["ga"], finals["hill_climber"], finals["simulated_annealing"]]
+    assert min(informed) <= finals["random_search"] + 1e-9, (
+        "at least one informed heuristic must match or beat random search"
+    )
+    assert all(0.0 <= v <= 1.0 for v in finals.values())

@@ -1,0 +1,69 @@
+"""E2 — Fig. 1 workflow stage costs.
+
+The paper's Fig. 1 is a workflow diagram: x lock the original netlist,
+y attack it with MuxLink, z evolve the encoding population. This bench
+times every stage of that published workflow on one circuit, verifying
+that each stage runs and showing where the compute goes (fitness
+evaluation dominates — the motivation for the fast MLP predictor).
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, scaled
+
+from repro.attacks import MuxLinkAttack
+from repro.circuits import load_circuit
+from repro.ec import GaConfig, GeneticAlgorithm, MuxLinkFitness
+from repro.ec.genotype import random_genotype
+from repro.locking import DMuxLocking
+from repro.locking.genome_lock import genes_from_locked, lock_with_genes
+from repro.utils.timing import Stopwatch
+
+
+def run_workflow() -> Stopwatch:
+    sw = Stopwatch()
+    circuit = load_circuit("c432_syn")
+    sw.lap("0_load_original_netlist")
+
+    locked = DMuxLocking("shared").lock(circuit, 16, seed_or_rng=1)
+    sw.lap("1_lock_with_random_key (Fig.1 x)")
+
+    genes = genes_from_locked(locked)
+    rebuilt = lock_with_genes(circuit, genes)
+    assert rebuilt.key.bits == locked.key.bits
+    sw.lap("2_encode_decode_genotype")
+
+    report = MuxLinkAttack(predictor="mlp").run(locked, seed_or_rng=2)
+    assert 0.0 <= report.accuracy <= 1.0
+    sw.lap("3_muxlink_attack (Fig.1 y)")
+
+    population = [random_genotype(circuit, 16, seed_or_rng=s) for s in range(6)]
+    sw.lap("4_init_population (Fig.1 z)")
+
+    fitness = MuxLinkFitness(circuit, predictor="mlp", attack_seed=3)
+    config = GaConfig(
+        key_length=16,
+        population_size=6,
+        generations=scaled(3, minimum=2),
+        seed=4,
+    )
+    result = GeneticAlgorithm(config).run(
+        circuit, fitness, initial_population=population
+    )
+    assert result.best_fitness <= 1.0
+    sw.lap("5_ga_refinement (Fig.1 z)")
+    return sw
+
+
+def test_e2_workflow_stages(benchmark):
+    sw = benchmark.pedantic(run_workflow, rounds=1, iterations=1)
+    print_header("E2", "End-to-end workflow stage costs", "Fig. 1 (x -> y -> z)")
+    total = sum(sw.laps.values())
+    for stage, seconds in sw.laps.items():
+        bar = "#" * int(50 * seconds / max(total, 1e-9))
+        print(f"{stage:<38} {seconds:>8.2f}s  {bar}")
+    print(f"{'total':<38} {total:>8.2f}s")
+    ga = sw.laps["5_ga_refinement (Fig.1 z)"]
+    assert ga == max(sw.laps.values()), (
+        "GA refinement (repeated fitness evaluation) must dominate the workflow"
+    )

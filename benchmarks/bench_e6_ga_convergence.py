@@ -1,0 +1,58 @@
+"""E6 — GA convergence dynamics.
+
+§II describes the generational loop (selection, crossover, mutation)
+refining the population "until a set number of iterations or desired
+fitness is achieved". This bench traces best/mean fitness per generation
+— the convergence curve implicit in Fig. 1 z.
+
+Shape expectation: best fitness is non-increasing (elitism) and the
+population mean improves substantially from generation 0 to the end.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, scaled
+
+from repro.circuits import load_circuit
+from repro.ec import GaConfig, GeneticAlgorithm, MuxLinkFitness
+
+
+def run_convergence():
+    circuit = load_circuit("c1355_syn")
+    fitness = MuxLinkFitness(circuit, predictor="mlp", attack_seed=0xBEEF)
+    config = GaConfig(
+        key_length=24,
+        population_size=scaled(10, minimum=4),
+        generations=scaled(10, minimum=4),
+        elitism=2,
+        seed=3,
+    )
+    result = GeneticAlgorithm(config).run(circuit, fitness)
+    return result, fitness
+
+
+def test_e6_ga_convergence(benchmark):
+    result, fitness = benchmark.pedantic(run_convergence, rounds=1, iterations=1)
+    print_header(
+        "E6",
+        "GA convergence: fitness (MuxLink accuracy) per generation",
+        "§II GA loop / Fig. 1 z",
+    )
+    print(f"{'gen':>4} {'best':>7} {'mean':>7} {'std':>7}   fitness curve (lower = better)")
+    lo = min(s.best for s in result.history)
+    hi = max(s.mean for s in result.history)
+    span = max(hi - lo, 1e-9)
+    for s in result.history:
+        pos = int(40 * (s.mean - lo) / span)
+        print(f"{s.generation:>4} {s.best:>7.3f} {s.mean:>7.3f} {s.std:>7.3f}   "
+              + " " * pos + "*")
+    print(f"\nevaluations: {result.evaluations}  cache hits: {fitness.cache.hits}")
+
+    bests = [s.best for s in result.history]
+    assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(bests, bests[1:])), (
+        "elitism: best fitness must never regress"
+    )
+    first, last = result.history[0], result.history[-1]
+    assert last.best <= first.best
+    assert last.mean < first.mean + 0.02, "population mean should trend down"
+    assert fitness.cache.hits > 0, "crossover must rediscover cached genotypes"

@@ -1,0 +1,80 @@
+"""E7 — evolutionary-operator ablation.
+
+§III bullet 2: "the optimization success of the GA depends on the design
+of the evolutionary operators; we need to take a look at the design of
+problem-specific operators." This bench sweeps selection, crossover and
+mutation variants under a fixed evaluation budget and reports the final
+best fitness per configuration (bayes fitness keeps the sweep cheap).
+
+Shape expectation: every variant improves on generation 0, and the
+problem-specific ``reroute_heavy`` mutation (decoy re-routing) is
+competitive with or better than generic key-flip mutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, scaled
+
+from repro.circuits import load_circuit
+from repro.ec import GaConfig, GeneticAlgorithm, MuxLinkFitness
+from repro.ec.fitness import FitnessCache
+
+_VARIANTS = [
+    # (label, selection, crossover, mutation)
+    ("tour/1pt/default", "tournament", "one_point", "default"),
+    ("tour/2pt/default", "tournament", "two_point", "default"),
+    ("tour/uni/default", "tournament", "uniform", "default"),
+    ("roul/1pt/default", "roulette", "one_point", "default"),
+    ("rank/1pt/default", "rank", "one_point", "default"),
+    ("tour/1pt/key_only", "tournament", "one_point", "key_only"),
+    ("tour/1pt/reloc_heavy", "tournament", "one_point", "relocate_heavy"),
+    ("tour/1pt/reroute_heavy", "tournament", "one_point", "reroute_heavy"),
+]
+
+
+def run_ablation() -> list:
+    circuit = load_circuit("c880_syn")
+    rows = []
+    for label, selection, crossover, mutation in _VARIANTS:
+        fitness = MuxLinkFitness(
+            circuit, predictor="bayes", attack_seed=0xAB1A, cache=FitnessCache()
+        )
+        config = GaConfig(
+            key_length=16,
+            population_size=scaled(10, minimum=4),
+            generations=scaled(8, minimum=3),
+            selection=selection,
+            crossover=crossover,
+            mutation=mutation,
+            seed=17,
+        )
+        result = GeneticAlgorithm(config).run(circuit, fitness)
+        rows.append((label, result))
+    return rows
+
+
+def test_e7_operator_ablation(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print_header(
+        "E7",
+        "Operator ablation: final fitness per selection/crossover/mutation",
+        "§III bullet 2 (problem-specific operators)",
+    )
+    print(f"{'variant':<24} {'gen0 best':>10} {'final best':>11} {'improvement':>12}")
+    improvements = {}
+    for label, result in rows:
+        improvement = result.initial_best - result.best_fitness
+        improvements[label] = improvement
+        print(f"{label:<24} {result.initial_best:>10.3f} "
+              f"{result.best_fitness:>11.3f} {improvement:>+12.3f}")
+
+    finals = [r.best_fitness for _, r in rows]
+    assert all(
+        r.best_fitness <= r.initial_best + 1e-12 for _, r in rows
+    ), "no variant may end worse than its initial population"
+    assert float(np.mean(finals)) < 0.60, "ablation sweep failed to optimise at all"
+    assert (
+        improvements["tour/1pt/reroute_heavy"]
+        >= improvements["tour/1pt/key_only"] - 0.10
+    ), "problem-specific reroute operator should be competitive with key flips"

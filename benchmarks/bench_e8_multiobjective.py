@@ -1,0 +1,63 @@
+"""E8 — NSGA-II multi-objective locking design.
+
+§III bullet 3: "there is still a need to evaluate a multi-objective
+optimization that includes a set of distinct attacks." This bench evolves
+lockings against three genuinely conflicting objectives — MuxLink
+accuracy, depth overhead (critical-path cost), and 1−corruption (wrong
+keys must scramble outputs) — and prints the resulting Pareto front.
+
+Shape expectation: a non-trivial, mutually non-dominated front whose
+best-security point is clearly resilient, with visible spread along the
+cost/corruption axes.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, scaled
+
+from repro.circuits import load_circuit
+from repro.ec import MultiObjectiveFitness, Nsga2, Nsga2Config
+from repro.ec.nsga2 import dominates
+
+
+def run_nsga2():
+    circuit = load_circuit("c880_syn")
+    fitness = MultiObjectiveFitness(
+        circuit,
+        predictor="bayes",
+        objectives=("muxlink", "depth", "corruption"),
+        attack_seed=0xE8,
+    )
+    config = Nsga2Config(
+        key_length=16,
+        population_size=scaled(14, minimum=6),
+        generations=scaled(8, minimum=3),
+        seed=23,
+    )
+    return Nsga2(config).run(circuit, fitness)
+
+
+def test_e8_multiobjective(benchmark):
+    result = benchmark.pedantic(run_nsga2, rounds=1, iterations=1)
+    print_header(
+        "E8",
+        "NSGA-II Pareto front: MuxLink accuracy vs depth overhead vs 1-corruption",
+        "§III bullet 3 (multi-objective optimisation)",
+    )
+    print(f"{'#':>3} {'muxlink_acc':>12} {'depth_ovh':>10} {'1-corruption':>13}")
+    for i, objs in enumerate(sorted(result.front_objectives)):
+        print(f"{i:>3} {objs[0]:>12.3f} {objs[1]:>10.3f} {objs[2]:>13.3f}")
+    print(f"\nfront size: {len(result.front_objectives)}  "
+          f"evaluations: {result.evaluations}  time: {result.runtime_s:.1f}s")
+
+    assert len(result.front_objectives) >= 2, "front must offer a trade-off"
+    for i, a in enumerate(result.front_objectives):
+        for j, b in enumerate(result.front_objectives):
+            if i != j:
+                assert not dominates(a, b), "reported front is not a Pareto front"
+    best_acc = min(o[0] for o in result.front_objectives)
+    assert best_acc < 0.60, f"best front accuracy {best_acc:.3f} not resilient"
+    depth_spread = max(o[1] for o in result.front_objectives) - min(
+        o[1] for o in result.front_objectives
+    )
+    assert depth_spread > 0.0, "front shows no cost trade-off at all"

@@ -1,0 +1,67 @@
+"""E9 — locking overhead: area / depth / power proxies vs key size.
+
+Cost is the implicit second axis of every locking evaluation. Shape
+expectations from the construction itself: shared D-MUX inserts 2 MUXes
+per key bit and must therefore cost roughly twice the area of two_key
+D-MUX (1 MUX/bit) and clearly more than RLL's single XOR; overhead grows
+linearly in K.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.circuits import load_circuit
+from repro.locking import DMuxLocking, RandomLogicLocking
+from repro.metrics import overhead_report
+
+_KEYS = [16, 32, 64]
+
+
+def run_overhead() -> list:
+    circuit = load_circuit("c880_syn")
+    rows = []
+    for key_len in _KEYS:
+        for scheme in (
+            RandomLogicLocking(),
+            DMuxLocking("two_key"),
+            DMuxLocking("shared"),
+        ):
+            locked = scheme.lock(circuit, key_len, seed_or_rng=9)
+            rows.append(
+                overhead_report(
+                    circuit,
+                    locked.netlist,
+                    locked.key,
+                    locked.scheme,
+                    n_patterns=512,
+                    seed_or_rng=0,
+                )
+            )
+    return rows
+
+
+def test_e9_overhead(benchmark):
+    rows = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+    print_header(
+        "E9",
+        "Locking overhead vs key size (area/depth/power proxies)",
+        "implicit cost axis of the evaluation",
+    )
+    for report in rows:
+        print(report.as_row())
+
+    by_key: dict[int, dict[str, float]] = {}
+    for report in rows:
+        by_key.setdefault(report.key_length, {})[report.scheme] = report.area_overhead
+    for key_len, schemes in by_key.items():
+        assert schemes["dmux-shared"] > schemes["dmux-two_key"] > 0, (
+            f"K={key_len}: shared (2 MUX/bit) must cost more than two_key"
+        )
+        assert schemes["dmux-shared"] > schemes["rll"], (
+            f"K={key_len}: D-MUX must cost more than RLL"
+        )
+    # Linear growth in K: doubling K roughly doubles area overhead.
+    for scheme in ("rll", "dmux-shared", "dmux-two_key"):
+        ratio = by_key[64][scheme] / max(by_key[16][scheme], 1e-9)
+        assert 2.5 < ratio < 6.0, f"{scheme}: area growth {ratio:.2f}x not ~4x"

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: lock a circuit, attack it, evolve a resilient locking.
+
+Walks the three core capabilities in ~a minute of compute:
+
+1. D-MUX-lock a benchmark circuit and verify functional correctness;
+2. attack it with MuxLink (link prediction) and SCOPE (constant
+   propagation);
+3. run a miniature AutoLock evolution and compare attack accuracy
+   before/after.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attacks import MuxLinkAttack, ScopeAttack
+from repro.circuits import load_circuit
+from repro.ec import AutoLock, AutoLockConfig
+from repro.locking import DMuxLocking
+from repro.netlist import compute_stats
+from repro.sim import check_equivalence
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Load a benchmark circuit and lock it.
+    # ------------------------------------------------------------------
+    circuit = load_circuit("c880_syn")
+    print("original:", compute_stats(circuit).as_row())
+
+    locked = DMuxLocking("shared").lock(circuit, key_length=16, seed_or_rng=1)
+    print("locked:  ", compute_stats(locked.netlist).as_row())
+    print(f"correct key: {locked.key.bitstring}")
+
+    equivalence = check_equivalence(
+        circuit, locked.netlist, key_right=dict(locked.key), seed_or_rng=0
+    )
+    print(f"locked+correct key == original?  {equivalence.equal} "
+          f"({equivalence.method}, {equivalence.n_patterns} patterns)")
+
+    # ------------------------------------------------------------------
+    # 2. Attack the randomly-placed locking.
+    # ------------------------------------------------------------------
+    muxlink = MuxLinkAttack(predictor="mlp", ensemble=2).run(locked, seed_or_rng=2)
+    scope = ScopeAttack().run(locked, seed_or_rng=2)
+    print()
+    print("attacks on random D-MUX placement:")
+    print(" ", muxlink.as_row())
+    print(" ", scope.as_row())
+
+    # ------------------------------------------------------------------
+    # 3. Evolve a MuxLink-resilient locking (small budget for the demo).
+    # ------------------------------------------------------------------
+    print()
+    print("running AutoLock (small demo budget)...")
+    config = AutoLockConfig(
+        key_length=16, population_size=8, generations=6, seed=3
+    )
+    result = AutoLock(config).run(circuit)
+    print(result.summary())
+    print(f"MuxLink accuracy: random placement {result.baseline_accuracy:.3f} "
+          f"-> evolved {result.evolved_accuracy:.3f}")
+
+    evolved_eq = check_equivalence(
+        circuit,
+        result.locked.netlist,
+        key_right=dict(result.locked.key),
+        seed_or_rng=0,
+    )
+    print(f"evolved design functionally correct? {evolved_eq.equal}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""AutoLock: automatic design of logic locking with evolutionary computation.
+
+Reproduction of Wang et al., DSN 2023 (Doctoral Forum). See DESIGN.md for
+the system inventory and EXPERIMENTS.md for the experiment index.
+
+Public API highlights
+---------------------
+- :mod:`repro.netlist` — gate-level netlist model + ``.bench`` I/O
+- :mod:`repro.sim` — bit-parallel simulation, equivalence checking
+- :mod:`repro.sat` — CNF/Tseitin substrate and CDCL solver
+- :mod:`repro.circuits` — benchmark circuit registry (c17 + synthetic ISCAS)
+- :mod:`repro.locking` — RLL and D-MUX locking schemes
+- :mod:`repro.attacks` — MuxLink, SAT attack, oracle-less baselines
+- :mod:`repro.ec` — GA / NSGA-II engines and the AutoLock pipeline
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

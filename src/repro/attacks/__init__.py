@@ -1,0 +1,35 @@
+"""Attacks on locked circuits.
+
+Oracle-less:
+
+* :class:`~repro.attacks.muxlink.attack.MuxLinkAttack` — link-prediction
+  attack on MUX locking (the AutoLock fitness oracle), with three
+  predictor backends (``bayes``, ``mlp``, ``gnn``).
+* :class:`~repro.attacks.scope.ScopeAttack` — constant-propagation attack.
+* :class:`~repro.attacks.snapshot.SnapShotAttack` — locality-vector
+  classification with self-supervised re-locking (GSS scenario); cracks
+  naive XOR/XNOR RLL, blind on MUX locking.
+* :class:`~repro.attacks.random_guess.RandomGuessAttack` — the 50 % floor.
+
+Oracle-guided:
+
+* :class:`~repro.attacks.sat_attack.SatAttack` — the classic DIP-based
+  SAT attack, built on :mod:`repro.sat`.
+"""
+
+from repro.attacks.base import Attack, AttackReport
+from repro.attacks.random_guess import RandomGuessAttack
+from repro.attacks.scope import ScopeAttack
+from repro.attacks.snapshot import SnapShotAttack
+from repro.attacks.sat_attack import SatAttack
+from repro.attacks.muxlink import MuxLinkAttack
+
+__all__ = [
+    "Attack",
+    "AttackReport",
+    "RandomGuessAttack",
+    "ScopeAttack",
+    "SnapShotAttack",
+    "SatAttack",
+    "MuxLinkAttack",
+]

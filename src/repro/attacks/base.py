@@ -1,0 +1,85 @@
+"""Attack interface and report container."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.locking.base import LockedCircuit
+from repro.metrics.security import KpaScore, score_guesses
+
+
+@dataclass
+class AttackReport:
+    """Outcome of one attack run.
+
+    ``guesses`` maps every key input to 0/1 or ``None`` (undecided);
+    ``score`` is the resulting :class:`~repro.metrics.security.KpaScore`.
+    Attack-specific measurements (DIP counts, training losses, …) live in
+    ``extra``.
+    """
+
+    attack: str
+    design: str
+    scheme: str
+    key_length: int
+    guesses: dict[str, int | None]
+    score: KpaScore
+    runtime_s: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        """Key-prediction accuracy (0.5 = no information)."""
+        return self.score.accuracy
+
+    @property
+    def precision(self) -> float:
+        return self.score.precision
+
+    def as_row(self) -> str:
+        return (
+            f"{self.attack:<14} {self.design:<16} {self.scheme:<14} "
+            f"K={self.key_length:<4} acc={self.accuracy:.3f} "
+            f"prec={self.precision:.3f} cov={self.score.coverage:.2f} "
+            f"t={self.runtime_s:6.2f}s"
+        )
+
+
+class Attack(abc.ABC):
+    """Interface every attack implements.
+
+    Attacks receive the full :class:`LockedCircuit` but by contract only
+    read the locked netlist (and, for oracle-guided attacks, a functional
+    oracle built from the original). Ground truth (``locked.key``) is used
+    exclusively for scoring, via :meth:`_report`.
+    """
+
+    #: identifier used in reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, locked: LockedCircuit, seed_or_rng=None) -> AttackReport:
+        """Execute the attack and return a scored report."""
+
+    def _report(
+        self,
+        locked: LockedCircuit,
+        guesses: dict[str, int | None],
+        started_at: float,
+        extra: dict[str, Any] | None = None,
+    ) -> AttackReport:
+        """Assemble a report, scoring ``guesses`` against the true key."""
+        score = score_guesses(guesses, dict(locked.key))
+        return AttackReport(
+            attack=self.name,
+            design=locked.original.name,
+            scheme=locked.scheme,
+            key_length=locked.key_length,
+            guesses=dict(guesses),
+            score=score,
+            runtime_s=time.perf_counter() - started_at,
+            extra=dict(extra or {}),
+        )

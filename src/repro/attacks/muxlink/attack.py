@@ -1,0 +1,140 @@
+"""The MuxLink attack driver.
+
+Pipeline (matching Fig. 1 y of the AutoLock paper):
+
+1. extract the observed graph and the MUX link queries;
+2. train a link predictor self-supervised on the observed wires;
+3. score both candidate links of every key-MUX;
+4. aggregate per-key-bit margins (the two MUXes of a shared-key pair vote
+   on the same bit) and threshold into 0 / 1 / undecided.
+
+Ground truth is touched only by the scoring step inherited from
+:class:`~repro.attacks.base.Attack`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackReport
+from repro.attacks.muxlink.bayes import BayesLinkPredictor
+from repro.attacks.muxlink.gnn import GnnLinkPredictor
+from repro.attacks.muxlink.graph import extract_observed
+from repro.attacks.muxlink.mlp_predictor import MlpLinkPredictor
+from repro.errors import AttackError
+from repro.locking.base import LockedCircuit
+from repro.utils.rng import derive_rng
+
+_PREDICTORS: dict[str, Callable[[], object]] = {
+    "bayes": BayesLinkPredictor,
+    "mlp": MlpLinkPredictor,
+    "gnn": GnnLinkPredictor,
+}
+
+
+class MuxLinkAttack(Attack):
+    """Link-prediction attack on MUX-based locking.
+
+    Parameters
+    ----------
+    predictor:
+        ``"bayes"`` (no training, fastest), ``"mlp"`` (structural-feature
+        MLP, the default fitness oracle), or ``"gnn"`` (enclosing-subgraph
+        GNN, closest to the published DGCNN attack).
+    threshold:
+        Minimum |margin| to commit to a key bit; below it the bit is
+        reported undecided (MuxLink's deciphering threshold).
+    predictor_kwargs:
+        Forwarded to the predictor constructor (epochs, hops, ...).
+    """
+
+    def __init__(
+        self,
+        predictor: str = "mlp",
+        threshold: float = 0.0,
+        ensemble: int = 1,
+        **predictor_kwargs,
+    ) -> None:
+        if predictor not in _PREDICTORS:
+            raise AttackError(
+                f"unknown predictor {predictor!r}; choose from {sorted(_PREDICTORS)}"
+            )
+        if ensemble < 1:
+            raise AttackError(f"ensemble size must be >= 1, got {ensemble}")
+        self.predictor_name = predictor
+        self.threshold = float(threshold)
+        self.ensemble = ensemble
+        self.predictor_kwargs = predictor_kwargs
+        self.name = f"muxlink-{predictor}"
+
+    def run(self, locked: LockedCircuit, seed_or_rng=None) -> AttackReport:
+        started = time.perf_counter()
+        rng = derive_rng(seed_or_rng)
+        graph, queries = extract_observed(locked.netlist)
+
+        guesses: dict[str, int | None] = {k: None for k in locked.netlist.key_inputs}
+        if not queries:
+            # Nothing MUX-locked (e.g. an RLL design): every bit undecided.
+            return self._report(
+                locked, guesses, started, extra={"n_sites": 0, "note": "no MUX sites"}
+            )
+
+        margins: dict[str, float] = {}
+        site_scores: dict[str, tuple[float, float]] = {}
+        n_links = 0
+        final_losses: list[float] = []
+        for _member in range(self.ensemble):
+            predictor = _PREDICTORS[self.predictor_name](**self.predictor_kwargs)
+            predictor.fit(graph, rng)
+            history = getattr(predictor, "train_history", None)
+            if history:
+                final_losses.append(history[-1])
+
+            member_margins: dict[str, float] = {}
+            for q in queries:
+                d0 = graph.index[q.d0]
+                d1 = graph.index[q.d1]
+                s0 = s1 = 0.0
+                for consumer in q.consumers:
+                    c = graph.index[consumer]
+                    s0 += predictor.score_link(d0, c)
+                    s1 += predictor.score_link(d1, c)
+                    n_links += 2
+                site_scores[q.mux] = (s0, s1)
+                # Positive margin: the d0 link looks genuine -> key bit 0.
+                member_margins[q.key_name] = (
+                    member_margins.get(q.key_name, 0.0) + (s0 - s1)
+                )
+            # Normalise each member's margin scale before voting so ensemble
+            # members with larger logit ranges do not dominate.
+            scale = max(
+                1e-9,
+                float(np.std(list(member_margins.values())))
+                if len(member_margins) > 1
+                else 1.0,
+            )
+            for key_name, margin in member_margins.items():
+                margins[key_name] = margins.get(key_name, 0.0) + margin / scale
+
+        for key_name, margin in margins.items():
+            if margin > self.threshold:
+                guesses[key_name] = 0
+            elif margin < -self.threshold:
+                guesses[key_name] = 1
+            else:
+                guesses[key_name] = None
+
+        extra = {
+            "n_sites": len(queries),
+            "n_scored_links": n_links,
+            "margins": dict(margins),
+            "site_scores": site_scores,
+            "predictor": self.predictor_name,
+            "ensemble": self.ensemble,
+        }
+        if final_losses:
+            extra["final_train_loss"] = final_losses[-1]
+        return self._report(locked, guesses, started, extra=extra)

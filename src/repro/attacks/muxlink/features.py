@@ -1,0 +1,208 @@
+"""Feature engineering for the MuxLink link predictors.
+
+Two feature families:
+
+* :func:`subgraph_feature_matrix` — per-node features for the GNN
+  (gate-type one-hot ⊕ DRNL one-hot ⊕ scaled degree);
+* :func:`link_feature_vector` — a fixed-length descriptor of a candidate
+  link for the fast MLP predictor (endpoint types, degrees, common-
+  neighbour statistics, bounded distance, neighbourhood type histograms).
+
+Plus :func:`make_training_pairs`, the self-supervised sampler: positives
+are observed wires, negatives are non-adjacent (signal, gate) pairs drawn
+to match the direction convention of real wires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.attacks.muxlink.graph import ObservedGraph
+from repro.attacks.muxlink.subgraph import EnclosingSubgraph
+from repro.utils.rng import derive_rng
+
+#: Fixed gate-type vocabulary (index = one-hot position).
+GATE_TYPE_VOCAB: list[str] = [
+    "PI",
+    "BUF",
+    "NOT",
+    "AND",
+    "NAND",
+    "OR",
+    "NOR",
+    "XOR",
+    "XNOR",
+    "MUX",
+    "CONST0",
+    "CONST1",
+]
+_TYPE_INDEX = {t: i for i, t in enumerate(GATE_TYPE_VOCAB)}
+N_TYPES = len(GATE_TYPE_VOCAB)
+
+
+def type_index(gtype: str) -> int:
+    """Vocabulary index of a gate-type string (unknown types -> PI slot)."""
+    return _TYPE_INDEX.get(gtype, 0)
+
+
+#: extra per-node feature slots beyond type/DRNL one-hots: log-degree plus
+#: clipped level offsets to the two link endpoints.
+SUBGRAPH_EXTRA_FEATURES = 3
+
+
+def subgraph_feature_dim(max_label: int = 8) -> int:
+    """Width of :func:`subgraph_feature_matrix` rows."""
+    return N_TYPES + max_label + 1 + SUBGRAPH_EXTRA_FEATURES
+
+
+def subgraph_feature_matrix(
+    graph: ObservedGraph, sub: EnclosingSubgraph, max_label: int = 8
+) -> np.ndarray:
+    """Per-node GNN features: type one-hot ⊕ DRNL one-hot ⊕ degree/levels.
+
+    The level offsets to the candidate driver (position 0) and consumer
+    (position 1) give the GNN the same locality signal the MLP features
+    encode, without which D-MUX decoys are nearly indistinguishable.
+    """
+    n = sub.n_nodes
+    feats = np.zeros((n, subgraph_feature_dim(max_label)), dtype=np.float64)
+    lvl_u = graph.levels[sub.node_ids[0]]
+    lvl_v = graph.levels[sub.node_ids[1]]
+    for pos, nid in enumerate(sub.node_ids):
+        feats[pos, type_index(graph.gtypes[nid])] = 1.0
+        feats[pos, N_TYPES + int(sub.drnl[pos])] = 1.0
+        feats[pos, -3] = np.log1p(graph.degree(nid))
+        feats[pos, -2] = np.clip(graph.levels[nid] - lvl_u, -4, 4) / 4.0
+        feats[pos, -1] = np.clip(graph.levels[nid] - lvl_v, -4, 4) / 4.0
+    return feats
+
+
+def _bounded_distance(graph: ObservedGraph, u: int, v: int, limit: int = 4) -> int:
+    """Shortest-path length u→v up to ``limit`` (limit+1 = unreachable)."""
+    if u == v:
+        return 0
+    dist = {u: 0}
+    frontier = deque([u])
+    while frontier:
+        node = frontier.popleft()
+        d = dist[node]
+        if d == limit:
+            continue
+        for nxt in graph.adj[node]:
+            if nxt == v:
+                return d + 1
+            if nxt not in dist:
+                dist[nxt] = d + 1
+                frontier.append(nxt)
+    return limit + 1
+
+
+def _neighbor_type_histogram(graph: ObservedGraph, u: int) -> np.ndarray:
+    hist = np.zeros(N_TYPES, dtype=np.float64)
+    for nxt in graph.adj[u]:
+        hist[type_index(graph.gtypes[nxt])] += 1.0
+    total = hist.sum()
+    return hist / total if total > 0 else hist
+
+
+#: dimensionality of :func:`link_feature_vector`
+LINK_FEATURE_DIM = N_TYPES * 2 + 3 + 3 + 6 + 7 + 2 + N_TYPES * 2
+
+
+def _level_delta_onehot(delta: int) -> np.ndarray:
+    """One-hot of ``level(v) - level(u)`` around the ideal wire delta of 1.
+
+    Slots: [Δ<=-2, Δ=-1, Δ=0, Δ=1, Δ=2, Δ=3, Δ>=4]. True wires sit at
+    Δ≈1; D-MUX decoys drawn from arbitrary locations spread widely — the
+    single strongest oracle-less signal against vanilla D-MUX.
+    """
+    onehot = np.zeros(7, dtype=np.float64)
+    onehot[int(np.clip(delta + 2, 0, 6))] = 1.0
+    return onehot
+
+
+def link_feature_vector(graph: ObservedGraph, u: int, v: int) -> np.ndarray:
+    """Descriptor of candidate link ``u → v`` (edge masked if present).
+
+    Layout: [type(u) | type(v) | log-degrees(u, v, min) | CN, Jaccard,
+    Adamic-Adar | distance one-hot (1..5+) | level-delta one-hot |
+    scaled levels | neighbour-type hist(u) | neighbour-type hist(v)].
+    """
+    removed = graph.remove_undirected(u, v)
+    try:
+        feats = np.zeros(LINK_FEATURE_DIM, dtype=np.float64)
+        feats[type_index(graph.gtypes[u])] = 1.0
+        feats[N_TYPES + type_index(graph.gtypes[v])] = 1.0
+        base = 2 * N_TYPES
+        deg_u, deg_v = graph.degree(u), graph.degree(v)
+        feats[base + 0] = np.log1p(deg_u)
+        feats[base + 1] = np.log1p(deg_v)
+        feats[base + 2] = np.log1p(min(deg_u, deg_v))
+        base += 3
+        common = graph.adj[u] & graph.adj[v]
+        union = graph.adj[u] | graph.adj[v]
+        feats[base + 0] = float(len(common))
+        feats[base + 1] = len(common) / len(union) if union else 0.0
+        feats[base + 2] = float(
+            sum(1.0 / np.log1p(graph.degree(w)) for w in common if graph.degree(w) > 1)
+        )
+        base += 3
+        dist = _bounded_distance(graph, u, v, limit=4)
+        feats[base + min(dist, 5)] = 1.0  # slots: 0(unused),1,2,3,4,5=farther
+        base += 6
+        delta = graph.levels[v] - graph.levels[u]
+        feats[base : base + 7] = _level_delta_onehot(delta)
+        base += 7
+        max_level = max(max(graph.levels), 1)
+        feats[base + 0] = graph.levels[u] / max_level
+        feats[base + 1] = graph.levels[v] / max_level
+        base += 2
+        feats[base : base + N_TYPES] = _neighbor_type_histogram(graph, u)
+        feats[base + N_TYPES : base + 2 * N_TYPES] = _neighbor_type_histogram(graph, v)
+        return feats
+    finally:
+        if removed:
+            graph.restore_undirected(u, v)
+
+
+def make_training_pairs(
+    graph: ObservedGraph,
+    n_samples: int,
+    seed_or_rng=None,
+) -> tuple[list[tuple[int, int]], np.ndarray]:
+    """Self-supervised training pairs: (pairs, labels).
+
+    Half positives (observed wires), half negatives (non-adjacent pairs
+    whose target is a gate node, mirroring the candidate-link shape).
+    ``n_samples`` is a target; the actual count may be lower on tiny
+    graphs.
+    """
+    rng = derive_rng(seed_or_rng)
+    edges = graph.directed_edges
+    if not edges:
+        return [], np.zeros(0)
+    n_pos = min(n_samples // 2, len(edges))
+    pos_idx = rng.choice(len(edges), size=n_pos, replace=False)
+    positives = [edges[int(i)] for i in pos_idx]
+
+    # Negatives mirror the D-MUX decoy construction: the false candidate of
+    # a MUX pairs the *driver of one real wire* with the *consumer of
+    # another*. Training on uniformly random non-edges would mis-match the
+    # test distribution and weaken the attack.
+    negatives: list[tuple[int, int]] = []
+    attempts = 0
+    while len(negatives) < n_pos and attempts < 50 * n_pos:
+        attempts += 1
+        u, _ = edges[int(rng.integers(0, len(edges)))]
+        _, v = edges[int(rng.integers(0, len(edges)))]
+        if u == v or graph.has_edge(u, v):
+            continue
+        negatives.append((u, v))
+
+    pairs = positives + negatives
+    labels = np.array([1.0] * len(positives) + [0.0] * len(negatives))
+    order = rng.permutation(len(pairs))
+    pairs = [pairs[int(i)] for i in order]
+    return pairs, labels[order]

@@ -1,0 +1,174 @@
+"""Attacker's view of a MUX-locked netlist.
+
+MuxLink (Alrahis et al., DATE 2022) casts key recovery as link prediction:
+remove every key-controlled MUX from the netlist, leaving "open" pins, and
+ask which of the MUX's two data inputs is the true driver of each consumer.
+This module builds that *observed graph* — the locked netlist minus key
+inputs and key-MUXes — plus the list of link queries, using only
+information genuinely available to an oracle-less attacker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class MuxQuery:
+    """One key-controlled MUX the attacker must resolve.
+
+    Deciding that ``d0`` drives the consumers implies key bit 0 (MUX
+    semantics select ``d0`` at 0), and vice versa.
+    """
+
+    mux: str
+    key_name: str
+    d0: str
+    d1: str
+    consumers: tuple[str, ...]
+
+
+@dataclass
+class ObservedGraph:
+    """Undirected graph over observed signals with gate-type labels.
+
+    ``directed_edges`` additionally records observed *wire directions*
+    (driver → consumer), which supply the self-supervised positive
+    training samples.
+    """
+
+    nodes: list[str] = field(default_factory=list)
+    index: dict[str, int] = field(default_factory=dict)
+    gtypes: list[str] = field(default_factory=list)
+    adj: list[set[int]] = field(default_factory=list)
+    directed_edges: list[tuple[int, int]] = field(default_factory=list)
+    is_gate: list[bool] = field(default_factory=list)
+    #: longest-path logic level per node (inputs at 0), over observed wires;
+    #: an attacker can always compute this, and locality in levels is the
+    #: key structural signal separating true links from D-MUX decoys.
+    levels: list[int] = field(default_factory=list)
+
+    def add_node(self, name: str, gtype: str, gate: bool) -> int:
+        if name in self.index:
+            return self.index[name]
+        idx = len(self.nodes)
+        self.nodes.append(name)
+        self.index[name] = idx
+        self.gtypes.append(gtype)
+        self.adj.append(set())
+        self.is_gate.append(gate)
+        return idx
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add a directed wire u → v (stored undirected + direction list)."""
+        if u == v:
+            return
+        self.adj[u].add(v)
+        self.adj[v].add(u)
+        self.directed_edges.append((u, v))
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def degree(self, u: int) -> int:
+        return len(self.adj[u])
+
+    def compute_levels(self) -> None:
+        """(Re)compute longest-path levels from the directed wire list."""
+        n = self.n_nodes
+        indeg = [0] * n
+        out: list[list[int]] = [[] for _ in range(n)]
+        for u, v in self.directed_edges:
+            indeg[v] += 1
+            out[u].append(v)
+        level = [0] * n
+        ready = [i for i in range(n) if indeg[i] == 0]
+        order: list[int] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for nxt in out[node]:
+                level[nxt] = max(level[nxt], level[node] + 1)
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        self.levels = level
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.adj[u]
+
+    def remove_undirected(self, u: int, v: int) -> bool:
+        """Temporarily drop the undirected edge; returns True if present.
+
+        Callers must restore with :meth:`restore_undirected`. Used to keep
+        positive training samples honest (SEAL convention: the edge being
+        predicted must not be visible to the feature extractor).
+        """
+        if v in self.adj[u]:
+            self.adj[u].discard(v)
+            self.adj[v].discard(u)
+            return True
+        return False
+
+    def restore_undirected(self, u: int, v: int) -> None:
+        self.adj[u].add(v)
+        self.adj[v].add(u)
+
+
+def extract_observed(netlist: Netlist) -> tuple[ObservedGraph, list[MuxQuery]]:
+    """Build the observed graph and MUX queries for ``netlist``.
+
+    Key inputs are dropped entirely; each MUX whose select pin is a key
+    input becomes a :class:`MuxQuery` instead of a node. Everything else —
+    including MUXes that are part of the original design — stays a normal
+    node.
+    """
+    key_set = set(netlist.key_inputs)
+    graph = ObservedGraph()
+
+    def is_key_mux(name: str) -> bool:
+        gate = netlist.gates.get(name)
+        return (
+            gate is not None
+            and gate.gtype is GateType.MUX
+            and gate.fanins[0] in key_set
+        )
+
+    for sig in netlist.inputs:
+        graph.add_node(sig, "PI", gate=False)
+    for gate in netlist.gates.values():
+        if not is_key_mux(gate.name):
+            graph.add_node(gate.name, gate.gtype.value, gate=True)
+
+    mux_consumers: dict[str, list[str]] = {}
+    for gate in netlist.gates.values():
+        if is_key_mux(gate.name):
+            continue
+        g_idx = graph.index[gate.name]
+        for src in gate.fanins:
+            if src in key_set:
+                continue
+            if is_key_mux(src):
+                mux_consumers.setdefault(src, []).append(gate.name)
+                continue
+            graph.add_edge(graph.index[src], g_idx)
+
+    queries: list[MuxQuery] = []
+    for gate in netlist.gates.values():
+        if not is_key_mux(gate.name):
+            continue
+        sel, d0, d1 = gate.fanins
+        consumers = tuple(mux_consumers.get(gate.name, ()))
+        if is_key_mux(d0) or is_key_mux(d1):
+            # Chained key-MUXes are outside this attack's model; the site
+            # simply stays undecided (counted as coin-flip in scoring).
+            continue
+        queries.append(
+            MuxQuery(mux=gate.name, key_name=sel, d0=d0, d1=d1, consumers=consumers)
+        )
+    graph.compute_levels()
+    return graph, queries

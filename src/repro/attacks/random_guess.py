@@ -1,0 +1,23 @@
+"""Random-guess baseline: the 50 % accuracy floor every attack must beat."""
+
+from __future__ import annotations
+
+import time
+
+from repro.attacks.base import Attack, AttackReport
+from repro.locking.base import LockedCircuit
+from repro.utils.rng import derive_rng
+
+
+class RandomGuessAttack(Attack):
+    """Guess every key bit uniformly at random."""
+
+    name = "random"
+
+    def run(self, locked: LockedCircuit, seed_or_rng=None) -> AttackReport:
+        started = time.perf_counter()
+        rng = derive_rng(seed_or_rng)
+        guesses = {
+            name: int(rng.integers(0, 2)) for name in locked.netlist.key_inputs
+        }
+        return self._report(locked, guesses, started)

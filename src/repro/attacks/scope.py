@@ -1,0 +1,155 @@
+"""SCOPE-style oracle-less constant-propagation attack.
+
+For each key input the attack propagates the two constant hypotheses
+``k = 0`` and ``k = 1`` through the netlist and compares how much the
+circuit *simplifies* (gates whose output becomes constant, gates that
+collapse to a wire, gates whose strength reduces). Following the SCOPE
+observation (Alaql et al.), the hypothesis enabling more simplification
+is taken as the key guess; a tie yields an undecided bit.
+
+This cracks XOR/XNOR RLL — ``XOR(x, 0)`` collapses to a wire while
+``XOR(x, 1)`` only reduces to an inverter — but is blind to symmetric
+MUX locking, where both hypotheses collapse the MUX to a wire. That
+asymmetry is exactly what experiment E5 demonstrates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.attacks.base import Attack, AttackReport
+from repro.locking.base import LockedCircuit
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class SimplificationScore:
+    """Simplification yield of one constant hypothesis."""
+
+    n_constant: int
+    n_wire: int
+    n_reduced: int
+
+    @property
+    def total(self) -> float:
+        """Weighted score: eliminating a gate beats weakening one."""
+        return 2.0 * self.n_constant + 2.0 * self.n_wire + 1.0 * self.n_reduced
+
+
+def propagate_constant(netlist: Netlist, assignments: dict[str, int]) -> SimplificationScore:
+    """Propagate constant ``assignments`` and count simplification events.
+
+    Uses controlling-value reasoning: an AND with any 0 input is constant
+    regardless of the others; an AND whose inputs are all-known evaluates
+    exactly; an AND with a single 1 input and one unknown collapses to a
+    wire. Aliases (wire collapses) propagate as unknown values — only
+    constants flow onward, which mirrors what a synthesiser's constant
+    sweep would do before structural rewrites.
+    """
+    value: dict[str, int] = {}
+    for sig, bit in assignments.items():
+        value[sig] = int(bit) & 1
+
+    n_constant = n_wire = n_reduced = 0
+    for name in netlist.topological_order():
+        gate = netlist.gates[name]
+        t = gate.gtype
+        vals = [value.get(src) for src in gate.fanins]
+        known = [v for v in vals if v is not None]
+        unknown = len(vals) - len(known)
+        out: int | None = None
+        simplified = None  # "const" | "wire" | "reduced"
+
+        if t is GateType.CONST0:
+            out = 0
+        elif t is GateType.CONST1:
+            out = 1
+        elif t is GateType.BUF:
+            out = vals[0]
+        elif t is GateType.NOT:
+            out = None if vals[0] is None else 1 - vals[0]
+        elif t in (GateType.AND, GateType.NAND):
+            if 0 in known:
+                out = 1 if t is GateType.NAND else 0
+                simplified = "const"
+            elif unknown == 0:
+                out = 1 if t is not GateType.NAND else 0
+                simplified = "const"
+            elif known and all(v == 1 for v in known):
+                simplified = "wire" if unknown == 1 else "reduced"
+        elif t in (GateType.OR, GateType.NOR):
+            if 1 in known:
+                out = 0 if t is GateType.NOR else 1
+                simplified = "const"
+            elif unknown == 0:
+                out = 0 if t is not GateType.NOR else 1
+                simplified = "const"
+            elif known and all(v == 0 for v in known):
+                simplified = "wire" if unknown == 1 else "reduced"
+        elif t in (GateType.XOR, GateType.XNOR):
+            if unknown == 0:
+                parity = sum(known) & 1
+                out = parity if t is GateType.XOR else 1 - parity
+                simplified = "const"
+            elif known:
+                # Known inputs fold into a parity constant; with exactly one
+                # unknown the gate becomes a wire or an inverter.
+                parity = sum(known) & 1
+                effective_invert = parity if t is GateType.XOR else 1 - parity
+                if unknown == 1:
+                    simplified = "wire" if effective_invert == 0 else "reduced"
+                else:
+                    simplified = "reduced"
+        elif t is GateType.MUX:
+            sel, d0, d1 = vals
+            if sel is not None:
+                chosen = d0 if sel == 0 else d1
+                if chosen is not None:
+                    out = chosen
+                    simplified = "const"
+                else:
+                    simplified = "wire"
+            elif d0 is not None and d1 is not None and d0 == d1:
+                out = d0
+                simplified = "const"
+
+        if out is not None:
+            value[name] = out
+            if simplified is None and any(v is not None for v in vals):
+                simplified = "const"
+        if simplified == "const":
+            n_constant += 1
+        elif simplified == "wire":
+            n_wire += 1
+        elif simplified == "reduced":
+            n_reduced += 1
+    return SimplificationScore(n_constant, n_wire, n_reduced)
+
+
+class ScopeAttack(Attack):
+    """Per-key-bit constant-propagation attack (oracle-less)."""
+
+    name = "scope"
+
+    def __init__(self, margin: float = 1e-9) -> None:
+        #: minimum score difference required to commit to a guess
+        self.margin = margin
+
+    def run(self, locked: LockedCircuit, seed_or_rng=None) -> AttackReport:
+        started = time.perf_counter()
+        netlist = locked.netlist
+        guesses: dict[str, int | None] = {}
+        details: dict[str, tuple[float, float]] = {}
+        for key_name in netlist.key_inputs:
+            score0 = propagate_constant(netlist, {key_name: 0}).total
+            score1 = propagate_constant(netlist, {key_name: 1}).total
+            details[key_name] = (score0, score1)
+            if score0 > score1 + self.margin:
+                guesses[key_name] = 0
+            elif score1 > score0 + self.margin:
+                guesses[key_name] = 1
+            else:
+                guesses[key_name] = None
+        return self._report(locked, guesses, started, extra={"scores": details})

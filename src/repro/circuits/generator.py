@@ -1,0 +1,238 @@
+"""Deterministic random combinational circuit generator.
+
+Circuits are built layer by layer against an explicit depth target: gate
+``i`` of ``G`` is placed on logic level ``1 + i*D//G`` and must consume at
+least one signal from the level directly below, so the generated netlist
+has depth exactly ``D`` (when ``G >= D``). Remaining fanins are drawn from
+lower levels with a bias toward signals that do not yet drive anything,
+which keeps the fanout distribution close to technology-mapped netlists
+and leaves almost no dead logic.
+
+This matters for fidelity: the MuxLink attack learns from h-hop
+*localities*, so the synthetic stand-ins for ISCAS-85 must match interface
+width, gate count, gate-type mix **and** depth/fanout shape of the
+originals (profiles in :mod:`repro.circuits.profiles`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType, arity_bounds
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import derive_rng
+
+#: Default gate-type mix, loosely following the NAND-dominated ISCAS-85 blend.
+DEFAULT_TYPE_WEIGHTS: dict[str, float] = {
+    "NAND": 0.34,
+    "NOR": 0.12,
+    "AND": 0.16,
+    "OR": 0.10,
+    "NOT": 0.14,
+    "XOR": 0.07,
+    "XNOR": 0.03,
+    "BUF": 0.04,
+}
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """Shape specification for a synthetic circuit.
+
+    ``target_depth`` is hit exactly whenever ``n_gates >= target_depth``.
+    ``type_weights`` values need not sum to 1; they are normalised.
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    seed: int = 0
+    target_depth: int = 20
+    max_fanin: int = 3
+    type_weights: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_TYPE_WEIGHTS)
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1 or self.n_outputs < 1 or self.n_gates < 1:
+            raise NetlistError("profile requires >=1 input, output and gate")
+        if self.target_depth < 1:
+            raise NetlistError(f"target_depth must be >= 1, got {self.target_depth}")
+        if self.max_fanin < 2:
+            raise NetlistError("max_fanin must be >= 2")
+        if self.n_outputs > self.n_gates:
+            raise NetlistError("cannot have more outputs than gates")
+
+
+def generate_circuit(profile: CircuitProfile) -> Netlist:
+    """Generate the deterministic netlist described by ``profile``."""
+    rng = derive_rng(profile.seed)
+    netlist = Netlist(profile.name)
+    for i in range(profile.n_inputs):
+        netlist.add_input(f"I{i}")
+
+    types = [GateType(t) for t in profile.type_weights]
+    weights = np.array(list(profile.type_weights.values()), dtype=float)
+    weights = weights / weights.sum()
+
+    depth = min(profile.target_depth, profile.n_gates)
+    by_level: list[list[str]] = [list(netlist.inputs)]
+    all_signals: list[str] = list(netlist.inputs)
+    fanout_count: dict[str, int] = {s: 0 for s in all_signals}
+    unused_inputs = set(netlist.inputs)
+
+    def pick_extra_source(max_level: int) -> str:
+        """A fanin from any level <= max_level, preferring idle signals."""
+        if unused_inputs and rng.random() < 0.5:
+            return next(iter(sorted(unused_inputs)))
+        # Bias toward high levels (triangular) for locality, and among
+        # candidates prefer low-fanout signals two times out of three.
+        lv = max_level - int(min(rng.exponential(2.0), max_level))
+        pool = by_level[lv] if by_level[lv] else all_signals
+        if rng.random() < 0.66:
+            sample = [pool[int(i)] for i in rng.integers(0, len(pool), size=4)]
+            return min(sample, key=lambda s: fanout_count[s])
+        return pool[int(rng.integers(0, len(pool)))]
+
+    for g in range(profile.n_gates):
+        level = 1 + (g * depth) // profile.n_gates
+        while len(by_level) <= level:
+            by_level.append([])
+        gtype = types[int(rng.choice(len(types), p=weights))]
+        if gtype in (GateType.NOT, GateType.BUF):
+            n_fanin = 1
+        elif rng.random() < 0.85:
+            n_fanin = 2
+        else:
+            n_fanin = int(rng.integers(2, profile.max_fanin + 1))
+
+        below = by_level[level - 1] if by_level[level - 1] else all_signals
+        # Anchor fanin from the level below keeps the depth target exact;
+        # prefer an idle signal there as well.
+        sample = [below[int(i)] for i in rng.integers(0, len(below), size=4)]
+        anchor = min(sample, key=lambda s: fanout_count[s])
+        sources = [anchor]
+        while len(sources) < n_fanin:
+            cand = pick_extra_source(level - 1)
+            if cand not in sources or len(set(all_signals)) < n_fanin:
+                sources.append(cand)
+        name = f"N{g}"
+        netlist.add_gate(name, gtype, sources)
+        by_level[level].append(name)
+        all_signals.append(name)
+        fanout_count[name] = 0
+        for src in sources:
+            fanout_count[src] += 1
+            unused_inputs.discard(src)
+
+    _absorb_unused_inputs(netlist, unused_inputs, fanout_count, rng)
+    _assign_outputs(netlist, profile, rng)
+    return netlist
+
+
+def _absorb_unused_inputs(
+    netlist: Netlist,
+    unused_inputs: set[str],
+    fanout_count: dict[str, int],
+    rng: np.random.Generator,
+) -> None:
+    """Rewire spare pins so every primary input feeds logic.
+
+    Instead of adding gates (which would inflate the gate count past the
+    profile), redirect one fanin pin per unused input. Pin 0 is each
+    gate's depth anchor (it keeps the level chain intact), so only pins
+    >= 1 are rewired. Preferred targets are pins whose current source has
+    other consumers; if none exists the source is orphaned deliberately —
+    :func:`_assign_outputs` folds dangling logic into the outputs anyway.
+    """
+    if not unused_inputs:
+        return
+
+    def rewire(gname: str, pin: int, sig: str) -> None:
+        src = netlist.gates[gname].fanins[pin]
+        netlist.rewire_pin(gname, pin, sig)
+        fanout_count[src] -= 1
+        fanout_count[sig] = fanout_count.get(sig, 0) + 1
+
+    gate_names = list(netlist.gates)
+    for sig in sorted(unused_inputs):
+        rng.shuffle(gate_names)
+        # Pass 1: a non-anchor pin whose source is consumed elsewhere too,
+        # so the rewire leaves no new dead logic behind.
+        done = False
+        for gname in gate_names:
+            gate = netlist.gates[gname]
+            for pin, src in enumerate(gate.fanins):
+                if (
+                    pin >= 1
+                    and src not in netlist.inputs
+                    and fanout_count.get(src, 0) > 1
+                ):
+                    rewire(gname, pin, sig)
+                    done = True
+                    break
+            if done:
+                break
+        if done:
+            continue
+        # Pass 2: any non-anchor pin; the orphaned source becomes dangling
+        # and is merged downstream. Never orphan another input: that would
+        # trade one dangling input for another.
+        for gname in gate_names:
+            gate = netlist.gates[gname]
+            for pin, src in enumerate(gate.fanins):
+                orphan_safe = src not in netlist.inputs or fanout_count.get(src, 0) > 1
+                if pin >= 1 and src != sig and src not in unused_inputs and orphan_safe:
+                    rewire(gname, pin, sig)
+                    done = True
+                    break
+            if done:
+                break
+        if done:
+            continue
+        # Pass 3 (input-heavy corner case): widen an n-ary gate instead —
+        # consumes the input without orphaning anything or adding gates.
+        for gname in gate_names:
+            gate = netlist.gates[gname]
+            _lo, hi = arity_bounds(gate.gtype)
+            if hi is None:
+                netlist.widen_gate(gname, sig)
+                fanout_count[sig] = fanout_count.get(sig, 0) + 1
+                break
+
+
+def _assign_outputs(
+    netlist: Netlist, profile: CircuitProfile, rng: np.random.Generator
+) -> None:
+    """Choose primary outputs, absorbing every dangling signal.
+
+    Dangling gates that exceed the requested output count are folded into
+    the chosen outputs through XOR merge gates distributed round-robin, so
+    the circuit ends with exactly ``n_outputs`` outputs and no dead logic.
+    """
+    fanouts = netlist.fanouts()
+    gate_names = list(netlist.gates)
+    dangling = [g for g in gate_names if not fanouts[g]]
+    rng.shuffle(dangling)
+    chosen = dangling[: profile.n_outputs]
+    if len(chosen) < profile.n_outputs:
+        chosen_set = set(chosen)
+        remaining = [g for g in gate_names if g not in chosen_set]
+        extra_idx = rng.choice(
+            len(remaining), size=profile.n_outputs - len(chosen), replace=False
+        )
+        chosen += [remaining[int(i)] for i in extra_idx]
+
+    leftovers = dangling[profile.n_outputs:]
+    outputs = list(chosen)
+    for i, sig in enumerate(leftovers):
+        slot = i % len(outputs)
+        merged = netlist.fresh_name("NM")
+        netlist.add_gate(merged, GateType.XOR, [outputs[slot], sig])
+        outputs[slot] = merged
+    for sig in outputs:
+        netlist.add_output(sig)

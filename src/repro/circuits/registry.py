@@ -1,0 +1,69 @@
+"""Named circuit registry: ``load_circuit("c17")``, ``load_circuit("c432_syn")``.
+
+Also accepts parametric names ``rand_<gates>_<seed>`` for ad-hoc circuits
+(width scales with the gate count), which the property-based tests use.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from importlib import resources
+
+from repro.errors import NetlistError
+from repro.netlist.bench import parse_bench
+from repro.netlist.netlist import Netlist
+from repro.circuits.generator import CircuitProfile, generate_circuit
+from repro.circuits.profiles import ISCAS85_PROFILES
+
+_RAND_RE = re.compile(r"^rand_(\d+)_(\d+)$")
+
+
+def available_circuits() -> list[str]:
+    """Names accepted by :func:`load_circuit` (parametric family excluded)."""
+    return ["c17"] + sorted(ISCAS85_PROFILES)
+
+
+@functools.lru_cache(maxsize=64)
+def _load_cached(name: str) -> Netlist:
+    if name == "c17":
+        text = (
+            resources.files("repro.circuits").joinpath("data/c17.bench").read_text()
+        )
+        return parse_bench(text, "c17")
+    if name in ISCAS85_PROFILES:
+        return generate_circuit(ISCAS85_PROFILES[name])
+    m = _RAND_RE.match(name)
+    if m:
+        n_gates, seed = int(m.group(1)), int(m.group(2))
+        profile = CircuitProfile(
+            name=name,
+            n_inputs=max(3, n_gates // 8),
+            n_outputs=max(2, n_gates // 16),
+            n_gates=n_gates,
+            seed=seed,
+        )
+        return generate_circuit(profile)
+    raise NetlistError(
+        f"unknown circuit {name!r}; available: {', '.join(available_circuits())} "
+        "or rand_<gates>_<seed>"
+    )
+
+
+def load_circuit(name: str) -> Netlist:
+    """Load a benchmark circuit by name; always returns a fresh copy.
+
+    The underlying netlist is cached, but callers get an independent copy
+    so locking transformations can never corrupt the registry.
+    """
+    return _load_cached(name).copy()
+
+
+def synthetic_suite(max_gates: int | None = None) -> list[Netlist]:
+    """The synthetic ISCAS-85 suite (optionally size-capped), plus c17."""
+    suite = [load_circuit("c17")]
+    for name in sorted(ISCAS85_PROFILES):
+        circuit = load_circuit(name)
+        if max_gates is None or len(circuit) <= max_gates:
+            suite.append(circuit)
+    return suite

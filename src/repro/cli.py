@@ -1,0 +1,159 @@
+"""Command-line interface: ``autolock <subcommand>``.
+
+Subcommands
+-----------
+``lock``     lock a benchmark circuit with RLL or D-MUX and save it
+``attack``   run an attack against a saved locked design
+``evolve``   run the full AutoLock pipeline on a benchmark circuit
+``info``     print statistics of a benchmark circuit or the whole suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.circuits import available_circuits, load_circuit
+    from repro.netlist import compute_stats
+
+    names = [args.circuit] if args.circuit else available_circuits()
+    for name in names:
+        print(compute_stats(load_circuit(name)).as_row())
+    return 0
+
+
+def _cmd_lock(args: argparse.Namespace) -> int:
+    from repro.circuits import load_circuit
+    from repro.io import save_locked_design
+    from repro.locking import DMuxLocking, RandomLogicLocking
+
+    circuit = load_circuit(args.circuit)
+    if args.scheme == "rll":
+        scheme = RandomLogicLocking()
+    else:
+        scheme = DMuxLocking(strategy=args.strategy)
+    locked = scheme.lock(circuit, args.key_length, seed_or_rng=args.seed)
+    sidecar = save_locked_design(locked, args.output)
+    print(f"locked {args.circuit} with {locked.scheme} K={args.key_length}")
+    print(f"saved: {sidecar}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attacks import (
+        MuxLinkAttack,
+        RandomGuessAttack,
+        SatAttack,
+        ScopeAttack,
+        SnapShotAttack,
+    )
+    from repro.io import load_locked_design
+
+    locked = load_locked_design(args.design)
+    if args.attack == "muxlink":
+        attack = MuxLinkAttack(predictor=args.predictor, ensemble=args.ensemble)
+    elif args.attack == "scope":
+        attack = ScopeAttack()
+    elif args.attack == "snapshot":
+        attack = SnapShotAttack()
+    elif args.attack == "sat":
+        attack = SatAttack()
+    else:
+        attack = RandomGuessAttack()
+    report = attack.run(locked, seed_or_rng=args.seed)
+    print(report.as_row())
+    for k, v in sorted(report.extra.items()):
+        if isinstance(v, (int, float, str, bool)):
+            print(f"  {k}: {v}")
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.circuits import load_circuit
+    from repro.ec import AutoLock, AutoLockConfig
+    from repro.io import save_locked_design
+
+    circuit = load_circuit(args.circuit)
+    config = AutoLockConfig(
+        key_length=args.key_length,
+        population_size=args.population,
+        generations=args.generations,
+        fitness_predictor=args.predictor,
+        seed=args.seed,
+    )
+    result = AutoLock(config).run(circuit)
+    print(result.summary())
+    for stats in result.ga.history:
+        print(
+            f"  gen {stats.generation:3d}  best={stats.best:.3f} "
+            f"mean={stats.mean:.3f} std={stats.std:.3f}"
+        )
+    if args.output:
+        sidecar = save_locked_design(result.locked, args.output)
+        print(f"saved: {sidecar}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="autolock",
+        description="AutoLock: evolutionary design of logic locking (DSN 2023 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="benchmark circuit statistics")
+    p_info.add_argument("circuit", nargs="?", help="circuit name (default: all)")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_lock = sub.add_parser("lock", help="lock a benchmark circuit")
+    p_lock.add_argument("circuit")
+    p_lock.add_argument("--scheme", choices=["rll", "dmux"], default="dmux")
+    p_lock.add_argument("--strategy", choices=["shared", "two_key"], default="shared")
+    p_lock.add_argument("--key-length", type=int, default=32)
+    p_lock.add_argument("--seed", type=int, default=0)
+    p_lock.add_argument("--output", default="locked_designs")
+    p_lock.set_defaults(func=_cmd_lock)
+
+    p_attack = sub.add_parser("attack", help="attack a saved locked design")
+    p_attack.add_argument("design", help="path to the .lock.json sidecar")
+    p_attack.add_argument(
+        "--attack",
+        choices=["muxlink", "scope", "snapshot", "sat", "random"],
+        default="muxlink",
+    )
+    p_attack.add_argument(
+        "--predictor", choices=["bayes", "mlp", "gnn"], default="mlp"
+    )
+    p_attack.add_argument("--ensemble", type=int, default=1)
+    p_attack.add_argument("--seed", type=int, default=0)
+    p_attack.set_defaults(func=_cmd_attack)
+
+    p_evolve = sub.add_parser("evolve", help="run the AutoLock pipeline")
+    p_evolve.add_argument("circuit")
+    p_evolve.add_argument("--key-length", type=int, default=32)
+    p_evolve.add_argument("--population", type=int, default=12)
+    p_evolve.add_argument("--generations", type=int, default=12)
+    p_evolve.add_argument(
+        "--predictor", choices=["bayes", "mlp", "gnn"], default="mlp"
+    )
+    p_evolve.add_argument("--seed", type=int, default=0)
+    p_evolve.add_argument("--output", default=None)
+    p_evolve.set_defaults(func=_cmd_evolve)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Evolutionary computation: the AutoLock core.
+
+The paper's contribution is the GA–MuxLink integration: genotypes are
+lists of MUX-pair locking locations (``{f_i, f_j, g_i, g_j, k}``), fitness
+is the MuxLink attack accuracy on the decoded netlist (lower = fitter),
+and standard evolutionary operators search the locking-design space.
+
+* :mod:`repro.ec.genotype` — genotype sampling, validation and repair
+* :mod:`repro.ec.operators` — selection / crossover / mutation variants
+* :mod:`repro.ec.fitness` — attack-backed fitness functions (with cache)
+* :mod:`repro.ec.ga` — single-objective generational GA
+* :mod:`repro.ec.nsga2` — NSGA-II multi-objective engine
+* :mod:`repro.ec.autolock` — the end-to-end pipeline of Fig. 1
+"""
+
+from repro.ec.genotype import random_genotype, repair_genotype, genotype_key
+from repro.ec.operators import (
+    CROSSOVERS,
+    MUTATIONS,
+    SELECTIONS,
+    MutationConfig,
+    crossover_one_point,
+    crossover_two_point,
+    crossover_uniform,
+    mutate,
+    select_rank,
+    select_roulette,
+    select_tournament,
+)
+from repro.ec.fitness import FitnessCache, MuxLinkFitness, MultiObjectiveFitness
+from repro.ec.ga import GaConfig, GaResult, GenerationStats, GeneticAlgorithm
+from repro.ec.nsga2 import Nsga2, Nsga2Config, Nsga2Result
+from repro.ec.autolock import AutoLock, AutoLockConfig, AutoLockResult
+from repro.ec.alternatives import (
+    HillClimber,
+    RandomSearch,
+    SearchResult,
+    SimulatedAnnealing,
+)
+
+__all__ = [
+    "random_genotype",
+    "repair_genotype",
+    "genotype_key",
+    "MutationConfig",
+    "mutate",
+    "crossover_one_point",
+    "crossover_two_point",
+    "crossover_uniform",
+    "select_tournament",
+    "select_roulette",
+    "select_rank",
+    "CROSSOVERS",
+    "MUTATIONS",
+    "SELECTIONS",
+    "FitnessCache",
+    "MuxLinkFitness",
+    "MultiObjectiveFitness",
+    "GaConfig",
+    "GaResult",
+    "GenerationStats",
+    "GeneticAlgorithm",
+    "Nsga2",
+    "Nsga2Config",
+    "Nsga2Result",
+    "AutoLock",
+    "AutoLockConfig",
+    "AutoLockResult",
+    "RandomSearch",
+    "HillClimber",
+    "SimulatedAnnealing",
+    "SearchResult",
+]

@@ -1,0 +1,192 @@
+"""Non-GA black-box optimisers for locking design.
+
+The paper's research plan (§III, last bullet) asks to "explore other
+techniques out of the evolutionary computation field to better understand
+what heuristics are more suitable for this form of automation". This
+module provides three single-trajectory baselines sharing the GA's
+genotype, mutation and fitness machinery so the comparison isolates the
+*search strategy*:
+
+* :class:`RandomSearch` — independent random genotypes, keep the best.
+  The floor any informed heuristic must beat.
+* :class:`HillClimber` — first-improvement local search over mutation
+  neighbourhoods.
+* :class:`SimulatedAnnealing` — hill climbing with a geometric
+  temperature schedule that accepts uphill moves early.
+
+All minimise fitness and return the same :class:`SearchResult` shape, so
+the heuristic-comparison bench (E11) can sweep them uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.ec.genotype import random_genotype, repair_genotype
+from repro.ec.operators import MutationConfig, mutate
+from repro.errors import EvolutionError
+from repro.locking.dmux import MuxGene
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import derive_rng
+
+Genotype = list[MuxGene]
+Fitness = Callable[[Sequence[MuxGene]], float]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a single-trajectory search."""
+
+    best_genotype: Genotype
+    best_fitness: float
+    evaluations: int
+    runtime_s: float
+    #: best fitness after each evaluation (for budget-matched comparisons)
+    trajectory: list[float] = field(default_factory=list)
+
+
+def _validated_budget(evaluations: int) -> int:
+    if evaluations < 1:
+        raise EvolutionError(f"evaluation budget must be >= 1, got {evaluations}")
+    return evaluations
+
+
+class RandomSearch:
+    """Sample ``evaluations`` independent genotypes, keep the best."""
+
+    name = "random_search"
+
+    def __init__(self, key_length: int, evaluations: int = 100, seed: int = 0):
+        self.key_length = key_length
+        self.evaluations = _validated_budget(evaluations)
+        self.seed = seed
+
+    def run(self, original: Netlist, fitness: Fitness) -> SearchResult:
+        rng = derive_rng(self.seed)
+        started = time.perf_counter()
+        best_genes: Genotype | None = None
+        best_fit = float("inf")
+        trajectory: list[float] = []
+        for _ in range(self.evaluations):
+            genes = random_genotype(original, self.key_length, rng)
+            fit = float(fitness(genes))
+            if fit < best_fit:
+                best_fit, best_genes = fit, genes
+            trajectory.append(best_fit)
+        assert best_genes is not None
+        return SearchResult(
+            best_genotype=best_genes,
+            best_fitness=best_fit,
+            evaluations=self.evaluations,
+            runtime_s=time.perf_counter() - started,
+            trajectory=trajectory,
+        )
+
+
+class HillClimber:
+    """First-improvement local search over the mutation neighbourhood."""
+
+    name = "hill_climber"
+
+    def __init__(
+        self,
+        key_length: int,
+        evaluations: int = 100,
+        mutation: MutationConfig | None = None,
+        seed: int = 0,
+    ):
+        self.key_length = key_length
+        self.evaluations = _validated_budget(evaluations)
+        self.mutation = mutation or MutationConfig(0.1, 0.15, 0.15)
+        self.seed = seed
+
+    def run(self, original: Netlist, fitness: Fitness) -> SearchResult:
+        rng = derive_rng(self.seed)
+        started = time.perf_counter()
+        current = random_genotype(original, self.key_length, rng)
+        current_fit = float(fitness(current))
+        trajectory = [current_fit]
+        evaluations = 1
+        while evaluations < self.evaluations:
+            neighbour = repair_genotype(
+                original, mutate(original, current, self.mutation, rng), rng
+            )
+            fit = float(fitness(neighbour))
+            evaluations += 1
+            if fit < current_fit:
+                current, current_fit = neighbour, fit
+            trajectory.append(current_fit)
+        return SearchResult(
+            best_genotype=current,
+            best_fitness=current_fit,
+            evaluations=evaluations,
+            runtime_s=time.perf_counter() - started,
+            trajectory=trajectory,
+        )
+
+
+class SimulatedAnnealing:
+    """Metropolis acceptance with a geometric cooling schedule.
+
+    Temperature starts at ``t_start`` (in fitness units — attack accuracy
+    lives in [0, 1], so 0.05-0.2 is a sensible range) and decays by
+    ``cooling`` per step toward ``t_end``.
+    """
+
+    name = "simulated_annealing"
+
+    def __init__(
+        self,
+        key_length: int,
+        evaluations: int = 100,
+        t_start: float = 0.10,
+        t_end: float = 0.005,
+        mutation: MutationConfig | None = None,
+        seed: int = 0,
+    ):
+        if t_start <= 0 or t_end <= 0 or t_end > t_start:
+            raise EvolutionError(
+                f"need 0 < t_end <= t_start, got t_start={t_start}, t_end={t_end}"
+            )
+        self.key_length = key_length
+        self.evaluations = _validated_budget(evaluations)
+        self.t_start = t_start
+        self.t_end = t_end
+        self.mutation = mutation or MutationConfig(0.1, 0.15, 0.15)
+        self.seed = seed
+
+    def run(self, original: Netlist, fitness: Fitness) -> SearchResult:
+        rng = derive_rng(self.seed)
+        started = time.perf_counter()
+        current = random_genotype(original, self.key_length, rng)
+        current_fit = float(fitness(current))
+        best, best_fit = current, current_fit
+        trajectory = [best_fit]
+        evaluations = 1
+
+        steps = max(1, self.evaluations - 1)
+        cooling = (self.t_end / self.t_start) ** (1.0 / steps)
+        temperature = self.t_start
+        while evaluations < self.evaluations:
+            neighbour = repair_genotype(
+                original, mutate(original, current, self.mutation, rng), rng
+            )
+            fit = float(fitness(neighbour))
+            evaluations += 1
+            delta = fit - current_fit
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                current, current_fit = neighbour, fit
+            if current_fit < best_fit:
+                best, best_fit = current, current_fit
+            trajectory.append(best_fit)
+            temperature = max(self.t_end, temperature * cooling)
+        return SearchResult(
+            best_genotype=best,
+            best_fitness=best_fit,
+            evaluations=evaluations,
+            runtime_s=time.perf_counter() - started,
+            trajectory=trajectory,
+        )

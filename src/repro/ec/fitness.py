@@ -1,0 +1,209 @@
+"""Fitness functions: attack accuracy on the decoded phenotype.
+
+The paper measures fitness as MuxLink accuracy — lower accuracy means a
+more resilient locking, i.e. higher evolutionary fitness. We keep the
+*minimisation* convention throughout (`fitness value = attack accuracy`,
+smaller is better), which reads naturally in convergence plots.
+
+Evaluations are deterministic per genotype (fixed attack seed) and cached
+by canonical genotype key, since crossover routinely recreates previously
+seen individuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.attacks.muxlink.attack import MuxLinkAttack
+from repro.attacks.scope import ScopeAttack
+from repro.ec.genotype import genotype_key
+from repro.locking.dmux import MuxGene
+from repro.locking.genome_lock import lock_with_genes
+from repro.metrics.overhead import area_estimate
+from repro.netlist.netlist import Netlist
+
+
+class FitnessFunction(Protocol):
+    """Maps a genotype to a scalar (minimised) or vector (NSGA-II)."""
+
+    def __call__(self, genes: Sequence[MuxGene]) -> float | tuple[float, ...]:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class FitnessCache:
+    """Genotype-keyed memo with hit statistics."""
+
+    store: dict[tuple, float | tuple[float, ...]] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, key: tuple):
+        if key in self.store:
+            self.hits += 1
+            return self.store[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: tuple, value) -> None:
+        self.store[key] = value
+
+
+class MuxLinkFitness:
+    """Scalar fitness: MuxLink key-prediction accuracy (lower = fitter).
+
+    Parameters mirror :class:`~repro.attacks.muxlink.attack.MuxLinkAttack`;
+    the default (single MLP, modest epochs) is the speed/selectivity
+    trade-off used inside GA loops. ``attack_seed`` fixes the attack's
+    training randomness so fitness is a deterministic function of the
+    genotype.
+    """
+
+    def __init__(
+        self,
+        original: Netlist,
+        predictor: str = "mlp",
+        ensemble: int = 1,
+        attack_seed: int = 0xA070,
+        cache: FitnessCache | None = None,
+        **predictor_kwargs,
+    ) -> None:
+        self.original = original
+        self.attack_seed = attack_seed
+        self.cache = cache if cache is not None else FitnessCache()
+        self._attack = MuxLinkAttack(
+            predictor=predictor, ensemble=ensemble, **predictor_kwargs
+        )
+        self.evaluations = 0
+
+    def __call__(self, genes: Sequence[MuxGene]) -> float:
+        key = genotype_key(genes)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return float(cached)
+        locked = lock_with_genes(self.original, list(genes))
+        report = self._attack.run(locked, seed_or_rng=self.attack_seed)
+        self.evaluations += 1
+        value = float(report.accuracy)
+        self.cache.put(key, value)
+        return value
+
+
+class MultiObjectiveFitness:
+    """Vector fitness for NSGA-II (all components minimised).
+
+    Available objectives (picked by name, order preserved):
+
+    ``muxlink``
+        MuxLink key-prediction accuracy — security against the learning
+        attack.
+    ``depth``
+        Depth-overhead fraction — MUXes on the critical path cost delay,
+        off-path placements are cheap. Varies strongly with placement.
+    ``corruption``
+        ``1 − mean wrong-key output error`` — a locking whose wrong keys
+        barely corrupt the outputs can simply be ignored; minimising this
+        maximises corruption. Varies with how close to the outputs the
+        locking sits.
+    ``area``
+        Area-overhead fraction. Only meaningful when genotype lengths
+        vary (constant for fixed-K genotypes).
+    ``scope``
+        SCOPE decision coverage — security against constant propagation
+        (constant 0 for pure symmetric MUX genotypes; kept for mixed
+        schemes).
+
+    The default triple (muxlink, depth, corruption) realises the research
+    plan's "multi-objective optimisation that includes a set of distinct
+    attacks" with genuinely conflicting axes: hiding from MuxLink pushes
+    insertions into structure-rich regions, corruption pushes them toward
+    output cones, and depth pushes them off the critical path
+    (experiment E8).
+    """
+
+    OBJECTIVES = ("muxlink", "depth", "corruption", "area", "scope")
+
+    def __init__(
+        self,
+        original: Netlist,
+        predictor: str = "mlp",
+        objectives: tuple[str, ...] = ("muxlink", "depth", "corruption"),
+        attack_seed: int = 0xA070,
+        corruption_patterns: int = 256,
+        corruption_keys: int = 3,
+        cache: FitnessCache | None = None,
+        **predictor_kwargs,
+    ) -> None:
+        unknown = [o for o in objectives if o not in self.OBJECTIVES]
+        if unknown:
+            raise ValueError(
+                f"unknown objectives {unknown}; available: {self.OBJECTIVES}"
+            )
+        if not objectives:
+            raise ValueError("need at least one objective")
+        self.original = original
+        self.objectives = tuple(objectives)
+        self.attack_seed = attack_seed
+        self.corruption_patterns = corruption_patterns
+        self.corruption_keys = corruption_keys
+        self.cache = cache if cache is not None else FitnessCache()
+        self._attack = MuxLinkAttack(predictor=predictor, **predictor_kwargs)
+        self._scope = ScopeAttack()
+        self._base_area = max(1e-9, area_estimate(original))
+        self._base_depth = max(1, original.depth())
+        self.evaluations = 0
+
+    @property
+    def n_objectives(self) -> int:
+        return len(self.objectives)
+
+    def _corruption(self, locked) -> float:
+        """Mean output error over a few seeded wrong keys."""
+        from repro.sim.equivalence import output_error_rate
+        from repro.utils.rng import derive_rng
+
+        rng = derive_rng(self.attack_seed)
+        key = locked.key
+        total = 0.0
+        for _ in range(self.corruption_keys):
+            bits = [int(b) for b in rng.integers(0, 2, size=len(key))]
+            if tuple(bits) == key.bits:
+                bits[0] ^= 1
+            wrong = dict(zip(key.names, bits))
+            total += output_error_rate(
+                self.original,
+                locked.netlist,
+                wrong,
+                n_patterns=self.corruption_patterns,
+                seed_or_rng=rng,
+            )
+        return total / self.corruption_keys
+
+    def __call__(self, genes: Sequence[MuxGene]) -> tuple[float, ...]:
+        key = genotype_key(genes)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return tuple(cached)
+        locked = lock_with_genes(self.original, list(genes))
+        values: dict[str, float] = {}
+        if "muxlink" in self.objectives:
+            report = self._attack.run(locked, seed_or_rng=self.attack_seed)
+            values["muxlink"] = float(report.accuracy)
+        if "depth" in self.objectives:
+            values["depth"] = (
+                locked.netlist.depth() - self._base_depth
+            ) / self._base_depth
+        if "corruption" in self.objectives:
+            values["corruption"] = 1.0 - self._corruption(locked)
+        if "area" in self.objectives:
+            values["area"] = (
+                area_estimate(locked.netlist) - self._base_area
+            ) / self._base_area
+        if "scope" in self.objectives:
+            scope = self._scope.run(locked, seed_or_rng=self.attack_seed)
+            values["scope"] = float(scope.score.coverage)
+        self.evaluations += 1
+        result = tuple(values[name] for name in self.objectives)
+        self.cache.put(key, result)
+        return result

@@ -1,0 +1,248 @@
+"""Single-objective generational GA with elitism and a hall of fame.
+
+The engine is scheme-agnostic: it evolves lists of MuxGenes against any
+scalar fitness (minimised). Configuration selects the operator variants
+registered in :mod:`repro.ec.operators`, which is what the ablation
+experiment (E7) sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ec.genotype import random_genotype, repair_genotype
+from repro.ec.operators import (
+    CROSSOVERS,
+    MUTATIONS,
+    SELECTIONS,
+    MutationConfig,
+    mutate,
+)
+from repro.errors import EvolutionError
+from repro.locking.dmux import MuxGene
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import derive_rng
+
+Genotype = list[MuxGene]
+
+
+@dataclass(frozen=True)
+class GaConfig:
+    """GA hyper-parameters (paper defaults are deliberately untuned)."""
+
+    key_length: int = 32
+    population_size: int = 12
+    generations: int = 15
+    selection: str = "tournament"
+    tournament_size: int = 3
+    crossover: str = "one_point"
+    crossover_rate: float = 0.9
+    mutation: str | MutationConfig = "default"
+    elitism: int = 2
+    target_fitness: float | None = None
+    patience: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise EvolutionError("population_size must be >= 2")
+        if self.elitism >= self.population_size:
+            raise EvolutionError("elitism must be smaller than the population")
+        if self.selection not in SELECTIONS:
+            raise EvolutionError(
+                f"unknown selection {self.selection!r}; options {sorted(SELECTIONS)}"
+            )
+        if self.crossover not in CROSSOVERS:
+            raise EvolutionError(
+                f"unknown crossover {self.crossover!r}; options {sorted(CROSSOVERS)}"
+            )
+        if isinstance(self.mutation, str) and self.mutation not in MUTATIONS:
+            raise EvolutionError(
+                f"unknown mutation {self.mutation!r}; options {sorted(MUTATIONS)}"
+            )
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise EvolutionError("crossover_rate must be in [0, 1]")
+
+    @property
+    def mutation_config(self) -> MutationConfig:
+        if isinstance(self.mutation, MutationConfig):
+            return self.mutation
+        return MUTATIONS[self.mutation]
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Per-generation fitness summary."""
+
+    generation: int
+    best: float
+    mean: float
+    std: float
+    elapsed_s: float
+
+
+@dataclass
+class GaResult:
+    """Outcome of a GA run."""
+
+    best_genotype: Genotype
+    best_fitness: float
+    history: list[GenerationStats] = field(default_factory=list)
+    hall_of_fame: list[tuple[float, Genotype]] = field(default_factory=list)
+    evaluations: int = 0
+    stopped_early: bool = False
+
+    @property
+    def initial_best(self) -> float:
+        return self.history[0].best if self.history else float("nan")
+
+    @property
+    def initial_mean(self) -> float:
+        return self.history[0].mean if self.history else float("nan")
+
+
+class GeneticAlgorithm:
+    """Generational GA over MUX-locking genotypes (fitness minimised)."""
+
+    def __init__(self, config: GaConfig) -> None:
+        self.config = config
+
+    def run(
+        self,
+        original: Netlist,
+        fitness: Callable[[Sequence[MuxGene]], float],
+        initial_population: list[Genotype] | None = None,
+    ) -> GaResult:
+        """Evolve lockings of ``original`` against ``fitness``.
+
+        ``initial_population`` overrides random initialisation (used by
+        tests and by warm-started experiments); its genotypes are
+        repaired, and the population is padded/truncated to size.
+        """
+        cfg = self.config
+        rng = derive_rng(cfg.seed)
+        select = SELECTIONS[cfg.selection]
+        cross = CROSSOVERS[cfg.crossover]
+        mut_cfg = cfg.mutation_config
+
+        population = self._init_population(original, initial_population, rng)
+        started = time.perf_counter()
+        history: list[GenerationStats] = []
+        hall: list[tuple[float, Genotype]] = []
+        n_evals = 0
+        best_so_far = float("inf")
+        stale_generations = 0
+        stopped_early = False
+
+        for gen in range(cfg.generations):
+            fits = [float(fitness(g)) for g in population]
+            n_evals += len(population)
+            order = np.argsort(fits)
+            gen_best = fits[int(order[0])]
+            history.append(
+                GenerationStats(
+                    generation=gen,
+                    best=gen_best,
+                    mean=float(np.mean(fits)),
+                    std=float(np.std(fits)),
+                    elapsed_s=time.perf_counter() - started,
+                )
+            )
+            self._update_hall(hall, population, fits)
+
+            if gen_best < best_so_far - 1e-12:
+                best_so_far = gen_best
+                stale_generations = 0
+            else:
+                stale_generations += 1
+            if cfg.target_fitness is not None and gen_best <= cfg.target_fitness:
+                stopped_early = True
+                break
+            if cfg.patience is not None and stale_generations > cfg.patience:
+                stopped_early = True
+                break
+            if gen == cfg.generations - 1:
+                break  # final evaluation done; no need to breed
+
+            # --- next generation -----------------------------------------
+            next_pop: list[Genotype] = [
+                list(population[int(i)]) for i in order[: cfg.elitism]
+            ]
+            while len(next_pop) < cfg.population_size:
+                pa = population[
+                    select(fits, rng, cfg.tournament_size)
+                    if cfg.selection == "tournament"
+                    else select(fits, rng)
+                ]
+                pb = population[
+                    select(fits, rng, cfg.tournament_size)
+                    if cfg.selection == "tournament"
+                    else select(fits, rng)
+                ]
+                if rng.random() < cfg.crossover_rate:
+                    child_a, child_b = cross(pa, pb, rng)
+                else:
+                    child_a, child_b = list(pa), list(pb)
+                for child in (child_a, child_b):
+                    if len(next_pop) >= cfg.population_size:
+                        break
+                    child = mutate(original, child, mut_cfg, rng)
+                    child = repair_genotype(original, child, rng)
+                    next_pop.append(child)
+            population = next_pop
+
+        best_fit, best_geno = min(hall, key=lambda t: t[0])
+        return GaResult(
+            best_genotype=list(best_geno),
+            best_fitness=best_fit,
+            history=history,
+            hall_of_fame=hall,
+            evaluations=n_evals,
+            stopped_early=stopped_early,
+        )
+
+    # ------------------------------------------------------------------
+    def _init_population(
+        self,
+        original: Netlist,
+        initial: list[Genotype] | None,
+        rng,
+    ) -> list[Genotype]:
+        cfg = self.config
+        population: list[Genotype] = []
+        if initial:
+            for genes in initial[: cfg.population_size]:
+                if len(genes) != cfg.key_length:
+                    raise EvolutionError(
+                        f"initial genotype has {len(genes)} genes, "
+                        f"config wants {cfg.key_length}"
+                    )
+                population.append(repair_genotype(original, genes, rng))
+        while len(population) < cfg.population_size:
+            population.append(random_genotype(original, cfg.key_length, rng))
+        return population
+
+    @staticmethod
+    def _update_hall(
+        hall: list[tuple[float, Genotype]],
+        population: list[Genotype],
+        fits: list[float],
+        size: int = 5,
+    ) -> None:
+        from repro.ec.genotype import genotype_key
+
+        for genes, fit in zip(population, fits):
+            hall.append((fit, list(genes)))
+        # Deduplicate by genotype, keep the best `size`.
+        seen: set[tuple] = set()
+        unique: list[tuple[float, Genotype]] = []
+        for fit, genes in sorted(hall, key=lambda t: t[0]):
+            key = genotype_key(genes)
+            if key not in seen:
+                seen.add(key)
+                unique.append((fit, genes))
+        hall[:] = unique[:size]

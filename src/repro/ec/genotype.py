@@ -1,0 +1,102 @@
+"""Genotype handling: sampling, validation, repair.
+
+A genotype is a list of :class:`~repro.locking.dmux.MuxGene`; gene ``i``
+carries key bit ``i``. Evolutionary operators can produce genotypes whose
+genes conflict (reuse a wire another gene consumed) or became
+inapplicable; :func:`repair_genotype` restores validity deterministically
+by re-sampling offending genes, which keeps selection pressure on the
+*valid* design space instead of wasting fitness evaluations on penalty
+scores (see DESIGN.md §5 for the ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import EvolutionError
+from repro.locking.dmux import MuxGene, gene_applicable, sample_gene
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import derive_rng
+
+
+def genotype_key(genes: Sequence[MuxGene]) -> tuple:
+    """Canonical hashable key of a genotype (for fitness caching)."""
+    return tuple((g.f_i, g.g_i, g.f_j, g.g_j, g.k) for g in genes)
+
+
+def random_genotype(
+    original: Netlist, key_length: int, seed_or_rng=None
+) -> list[MuxGene]:
+    """Sample a random valid genotype of ``key_length`` genes.
+
+    Mirrors the paper's initialisation: lock the original netlist with a
+    random key of the requested size (Fig. 1, step z initialisation).
+    """
+    if key_length < 1:
+        raise EvolutionError(f"key_length must be >= 1, got {key_length}")
+    rng = derive_rng(seed_or_rng)
+    work = original.copy()
+    genes: list[MuxGene] = []
+    used: set[tuple[str, str]] = set()
+    from repro.locking.dmux import apply_gene  # local to avoid cycle at import
+
+    for idx in range(key_length):
+        gene = sample_gene(work, rng, used_pins=used)
+        if gene is None:
+            raise EvolutionError(
+                f"{original.name}: no applicable locking site for gene {idx} "
+                f"(key too long for this netlist?)"
+            )
+        apply_gene(work, gene, f"__tmp_k{idx}")
+        used.update(gene.wires)
+        genes.append(gene)
+    return genes
+
+
+def repair_genotype(
+    original: Netlist,
+    genes: Sequence[MuxGene],
+    seed_or_rng=None,
+) -> list[MuxGene]:
+    """Return a valid genotype, re-sampling conflicting or stale genes.
+
+    Genes are processed in order against a working copy of the netlist;
+    a gene that no longer applies (wire consumed by an earlier gene, cycle
+    risk introduced by context changes) is replaced by a freshly sampled
+    gene. The result always has ``len(genes)`` genes.
+    """
+    rng = derive_rng(seed_or_rng)
+    from repro.locking.dmux import apply_gene  # local to avoid cycle at import
+
+    work = original.copy()
+    used: set[tuple[str, str]] = set()
+    repaired: list[MuxGene] = []
+    for idx, gene in enumerate(genes):
+        conflict = any(w in used for w in gene.wires)
+        if conflict or not gene_applicable(work, gene):
+            gene = sample_gene(work, rng, used_pins=used)
+            if gene is None:
+                raise EvolutionError(
+                    f"{original.name}: repair failed at gene {idx}: "
+                    "no applicable locking site left"
+                )
+        apply_gene(work, gene, f"__tmp_k{idx}")
+        used.update(gene.wires)
+        repaired.append(gene)
+    return repaired
+
+
+def genotype_is_valid(original: Netlist, genes: Sequence[MuxGene]) -> bool:
+    """True if ``genes`` can be applied in order without repair."""
+    from repro.locking.dmux import apply_gene  # local to avoid cycle at import
+
+    work = original.copy()
+    used: set[tuple[str, str]] = set()
+    for gene in genes:
+        if any(w in used for w in gene.wires):
+            return False
+        if not gene_applicable(work, gene):
+            return False
+        apply_gene(work, gene, f"__tmp_k{len(used)}")
+        used.update(gene.wires)
+    return True

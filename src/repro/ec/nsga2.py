@@ -1,0 +1,235 @@
+"""NSGA-II multi-objective engine (Deb et al., 2002).
+
+Implements the research-plan extension of the paper: evolve lockings
+against a *vector* of objectives (attack accuracies, overhead) and return
+the Pareto front instead of a single champion. All objectives are
+minimised.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ec.genotype import genotype_key, random_genotype, repair_genotype
+from repro.ec.operators import CROSSOVERS, MUTATIONS, MutationConfig, mutate
+from repro.errors import EvolutionError
+from repro.locking.dmux import MuxGene
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import derive_rng
+
+Genotype = list[MuxGene]
+Objectives = tuple[float, ...]
+
+
+def dominates(a: Objectives, b: Objectives) -> bool:
+    """True if ``a`` Pareto-dominates ``b`` (minimisation)."""
+    if len(a) != len(b):
+        raise EvolutionError("objective vectors differ in length")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def fast_non_dominated_sort(objs: Sequence[Objectives]) -> list[list[int]]:
+    """Partition indices into Pareto fronts (front 0 = non-dominated)."""
+    n = len(objs)
+    dominated_by: list[list[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: list[list[int]] = [[]]
+    for p in range(n):
+        for q in range(n):
+            if p == q:
+                continue
+            if dominates(objs[p], objs[q]):
+                dominated_by[p].append(q)
+            elif dominates(objs[q], objs[p]):
+                domination_count[p] += 1
+        if domination_count[p] == 0:
+            fronts[0].append(p)
+    i = 0
+    while fronts[i]:
+        nxt: list[int] = []
+        for p in fronts[i]:
+            for q in dominated_by[p]:
+                domination_count[q] -= 1
+                if domination_count[q] == 0:
+                    nxt.append(q)
+        i += 1
+        fronts.append(nxt)
+    fronts.pop()  # trailing empty front
+    return fronts
+
+
+def crowding_distance(objs: Sequence[Objectives], front: list[int]) -> dict[int, float]:
+    """Crowding distance of each index in ``front`` (inf at boundaries)."""
+    distance = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: float("inf") for i in front}
+    n_obj = len(objs[front[0]])
+    for m in range(n_obj):
+        ordered = sorted(front, key=lambda i: objs[i][m])
+        lo, hi = objs[ordered[0]][m], objs[ordered[-1]][m]
+        distance[ordered[0]] = float("inf")
+        distance[ordered[-1]] = float("inf")
+        span = hi - lo
+        if span <= 0:
+            continue
+        for rank in range(1, len(ordered) - 1):
+            prev_v = objs[ordered[rank - 1]][m]
+            next_v = objs[ordered[rank + 1]][m]
+            distance[ordered[rank]] += (next_v - prev_v) / span
+    return distance
+
+
+@dataclass(frozen=True)
+class Nsga2Config:
+    """NSGA-II hyper-parameters."""
+
+    key_length: int = 16
+    population_size: int = 16
+    generations: int = 10
+    crossover: str = "uniform"
+    crossover_rate: float = 0.9
+    mutation: str | MutationConfig = "default"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4:
+            raise EvolutionError("population_size must be >= 4 for NSGA-II")
+        if self.crossover not in CROSSOVERS:
+            raise EvolutionError(f"unknown crossover {self.crossover!r}")
+        if isinstance(self.mutation, str) and self.mutation not in MUTATIONS:
+            raise EvolutionError(f"unknown mutation {self.mutation!r}")
+
+    @property
+    def mutation_config(self) -> MutationConfig:
+        if isinstance(self.mutation, MutationConfig):
+            return self.mutation
+        return MUTATIONS[self.mutation]
+
+
+@dataclass
+class Nsga2Result:
+    """Final population, Pareto front, and bookkeeping."""
+
+    front_genotypes: list[Genotype]
+    front_objectives: list[Objectives]
+    evaluations: int
+    runtime_s: float
+    history: list[dict] = field(default_factory=list)
+
+
+class Nsga2:
+    """NSGA-II over MUX-locking genotypes."""
+
+    def __init__(self, config: Nsga2Config) -> None:
+        self.config = config
+
+    def run(
+        self,
+        original: Netlist,
+        fitness: Callable[[Sequence[MuxGene]], Objectives],
+    ) -> Nsga2Result:
+        cfg = self.config
+        rng = derive_rng(cfg.seed)
+        cross = CROSSOVERS[cfg.crossover]
+        mut_cfg = cfg.mutation_config
+        started = time.perf_counter()
+
+        population = [
+            random_genotype(original, cfg.key_length, rng)
+            for _ in range(cfg.population_size)
+        ]
+        objs = [tuple(fitness(g)) for g in population]
+        n_evals = len(population)
+        history: list[dict] = []
+
+        for gen in range(cfg.generations):
+            offspring: list[Genotype] = []
+            while len(offspring) < cfg.population_size:
+                pa = population[self._binary_tournament(objs, rng)]
+                pb = population[self._binary_tournament(objs, rng)]
+                if rng.random() < cfg.crossover_rate:
+                    child_a, child_b = cross(pa, pb, rng)
+                else:
+                    child_a, child_b = list(pa), list(pb)
+                for child in (child_a, child_b):
+                    if len(offspring) >= cfg.population_size:
+                        break
+                    child = mutate(original, child, mut_cfg, rng)
+                    offspring.append(repair_genotype(original, child, rng))
+            off_objs = [tuple(fitness(g)) for g in offspring]
+            n_evals += len(offspring)
+
+            combined = population + offspring
+            combined_objs = objs + off_objs
+            population, objs = self._environmental_selection(
+                combined, combined_objs, cfg.population_size
+            )
+            front0 = fast_non_dominated_sort(objs)[0]
+            history.append(
+                {
+                    "generation": gen,
+                    "front_size": len(front0),
+                    "best_per_objective": [
+                        min(objs[i][m] for i in front0)
+                        for m in range(len(objs[0]))
+                    ],
+                }
+            )
+
+        fronts = fast_non_dominated_sort(objs)
+        front = fronts[0]
+        # Deduplicate identical genotypes in the reported front.
+        seen: set[tuple] = set()
+        genos: list[Genotype] = []
+        front_objs: list[Objectives] = []
+        for i in front:
+            key = genotype_key(population[i])
+            if key in seen:
+                continue
+            seen.add(key)
+            genos.append(list(population[i]))
+            front_objs.append(objs[i])
+        return Nsga2Result(
+            front_genotypes=genos,
+            front_objectives=front_objs,
+            evaluations=n_evals,
+            runtime_s=time.perf_counter() - started,
+            history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def _binary_tournament(self, objs: list[Objectives], rng) -> int:
+        fronts = fast_non_dominated_sort(objs)
+        rank = {}
+        for r, front in enumerate(fronts):
+            for i in front:
+                rank[i] = r
+        crowd: dict[int, float] = {}
+        for front in fronts:
+            crowd.update(crowding_distance(objs, front))
+        a, b = int(rng.integers(0, len(objs))), int(rng.integers(0, len(objs)))
+        if rank[a] != rank[b]:
+            return a if rank[a] < rank[b] else b
+        return a if crowd[a] >= crowd[b] else b
+
+    @staticmethod
+    def _environmental_selection(
+        combined: list[Genotype],
+        objs: list[Objectives],
+        size: int,
+    ) -> tuple[list[Genotype], list[Objectives]]:
+        fronts = fast_non_dominated_sort(objs)
+        chosen: list[int] = []
+        for front in fronts:
+            if len(chosen) + len(front) <= size:
+                chosen.extend(front)
+            else:
+                crowd = crowding_distance(objs, front)
+                ranked = sorted(front, key=lambda i: crowd[i], reverse=True)
+                chosen.extend(ranked[: size - len(chosen)])
+                break
+        return [combined[i] for i in chosen], [objs[i] for i in chosen]

@@ -1,0 +1,213 @@
+"""Evolutionary operators: selection, crossover, mutation.
+
+All operators are pure functions over genotypes (lists of
+:class:`~repro.locking.dmux.MuxGene`) plus an RNG; repair happens after
+mutation, in the engine. The registries ``SELECTIONS`` / ``CROSSOVERS`` /
+``MUTATIONS`` drive the operator-ablation experiment (E7), which is the
+paper's research-plan question "design of problem-specific operators".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import EvolutionError
+from repro.locking.dmux import MuxGene, sample_gene
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import derive_rng
+
+Genotype = list[MuxGene]
+
+
+# ----------------------------------------------------------------------
+# Selection (all minimise fitness)
+# ----------------------------------------------------------------------
+def select_tournament(
+    fitnesses: Sequence[float], seed_or_rng=None, tournament_size: int = 3
+) -> int:
+    """Index of the best individual among ``tournament_size`` random picks."""
+    rng = derive_rng(seed_or_rng)
+    n = len(fitnesses)
+    if n == 0:
+        raise EvolutionError("cannot select from an empty population")
+    contenders = rng.integers(0, n, size=min(tournament_size, n))
+    return int(min(contenders, key=lambda i: fitnesses[int(i)]))
+
+
+def select_roulette(fitnesses: Sequence[float], seed_or_rng=None) -> int:
+    """Fitness-proportionate selection on inverted (minimised) fitness."""
+    rng = derive_rng(seed_or_rng)
+    fits = np.asarray(fitnesses, dtype=float)
+    if fits.size == 0:
+        raise EvolutionError("cannot select from an empty population")
+    # Invert: the worst individual gets (almost) zero weight.
+    weights = fits.max() - fits + 1e-9
+    weights /= weights.sum()
+    return int(rng.choice(len(fits), p=weights))
+
+
+def select_rank(fitnesses: Sequence[float], seed_or_rng=None) -> int:
+    """Linear rank selection (robust to fitness scaling)."""
+    rng = derive_rng(seed_or_rng)
+    fits = np.asarray(fitnesses, dtype=float)
+    if fits.size == 0:
+        raise EvolutionError("cannot select from an empty population")
+    order = np.argsort(fits)  # best first
+    ranks = np.empty_like(order)
+    ranks[order] = np.arange(len(fits))
+    weights = (len(fits) - ranks).astype(float)
+    weights /= weights.sum()
+    return int(rng.choice(len(fits), p=weights))
+
+
+# ----------------------------------------------------------------------
+# Crossover (fixed-length genotypes)
+# ----------------------------------------------------------------------
+def _check_parents(a: Genotype, b: Genotype) -> None:
+    if len(a) != len(b):
+        raise EvolutionError(
+            f"crossover requires equal-length genotypes ({len(a)} vs {len(b)})"
+        )
+    if not a:
+        raise EvolutionError("cannot cross over empty genotypes")
+
+
+def crossover_one_point(
+    a: Genotype, b: Genotype, seed_or_rng=None
+) -> tuple[Genotype, Genotype]:
+    """Single cut point; children swap tails."""
+    _check_parents(a, b)
+    rng = derive_rng(seed_or_rng)
+    if len(a) == 1:
+        return list(a), list(b)
+    cut = int(rng.integers(1, len(a)))
+    return a[:cut] + b[cut:], b[:cut] + a[cut:]
+
+
+def crossover_two_point(
+    a: Genotype, b: Genotype, seed_or_rng=None
+) -> tuple[Genotype, Genotype]:
+    """Two cut points; children swap the middle segment."""
+    _check_parents(a, b)
+    rng = derive_rng(seed_or_rng)
+    if len(a) < 3:
+        return crossover_one_point(a, b, rng)
+    lo, hi = sorted(rng.choice(np.arange(1, len(a)), size=2, replace=False))
+    child_a = a[:lo] + b[lo:hi] + a[hi:]
+    child_b = b[:lo] + a[lo:hi] + b[hi:]
+    return child_a, child_b
+
+
+def crossover_uniform(
+    a: Genotype, b: Genotype, seed_or_rng=None, swap_prob: float = 0.5
+) -> tuple[Genotype, Genotype]:
+    """Per-gene coin-flip exchange."""
+    _check_parents(a, b)
+    rng = derive_rng(seed_or_rng)
+    child_a, child_b = list(a), list(b)
+    for i in range(len(a)):
+        if rng.random() < swap_prob:
+            child_a[i], child_b[i] = child_b[i], child_a[i]
+    return child_a, child_b
+
+
+# ----------------------------------------------------------------------
+# Mutation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MutationConfig:
+    """Per-gene mutation probabilities.
+
+    ``flip_key`` inverts a gene's key bit (cheap exploration of key
+    polarity); ``relocate`` replaces the whole gene with a fresh random
+    locking location; ``reroute_partner`` keeps the first wire but draws a
+    new partner wire — the problem-specific operator that explores decoy
+    choice, which is exactly the degree of freedom MuxLink exploits.
+    """
+
+    flip_key: float = 0.05
+    relocate: float = 0.10
+    reroute_partner: float = 0.10
+
+    def __post_init__(self) -> None:
+        for name in ("flip_key", "relocate", "reroute_partner"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise EvolutionError(f"mutation prob {name} must be in [0,1], got {p}")
+
+
+def mutate(
+    original: Netlist,
+    genes: Genotype,
+    config: MutationConfig,
+    seed_or_rng=None,
+) -> Genotype:
+    """Apply per-gene mutations; the result may need repair.
+
+    Relocation/rerouting sample sites against the *original* netlist and
+    may collide with other genes; the engine runs
+    :func:`repro.ec.genotype.repair_genotype` afterwards.
+    """
+    rng = derive_rng(seed_or_rng)
+    mutated: Genotype = []
+    used = {w for g in genes for w in g.wires}
+    for gene in genes:
+        if rng.random() < config.relocate:
+            fresh = sample_gene(original, rng, used_pins=used)
+            if fresh is not None:
+                used.update(fresh.wires)
+                mutated.append(fresh)
+                continue
+        if rng.random() < config.reroute_partner:
+            rerouted = _reroute_partner(original, gene, used, rng)
+            if rerouted is not None:
+                used.update(rerouted.wires)
+                mutated.append(rerouted)
+                continue
+        if rng.random() < config.flip_key:
+            gene = gene.with_key(gene.k ^ 1)
+        mutated.append(gene)
+    return mutated
+
+
+def _reroute_partner(
+    original: Netlist,
+    gene: MuxGene,
+    used: set[tuple[str, str]],
+    rng,
+    max_tries: int = 60,
+) -> MuxGene | None:
+    """Swap the decoy wire ``(f_j, g_j)`` for a fresh one."""
+    from repro.locking.dmux import gene_applicable, lockable_wires
+
+    wires = [w for w in lockable_wires(original) if w not in used]
+    if not wires:
+        return None
+    for _ in range(max_tries):
+        f_j, g_j = wires[int(rng.integers(0, len(wires)))]
+        candidate = MuxGene(gene.f_i, gene.g_i, f_j, g_j, int(rng.integers(0, 2)))
+        if gene_applicable(original, candidate):
+            return candidate
+    return None
+
+
+#: registries for the operator-ablation experiment (E7)
+SELECTIONS: dict[str, Callable] = {
+    "tournament": select_tournament,
+    "roulette": select_roulette,
+    "rank": select_rank,
+}
+CROSSOVERS: dict[str, Callable] = {
+    "one_point": crossover_one_point,
+    "two_point": crossover_two_point,
+    "uniform": crossover_uniform,
+}
+MUTATIONS: dict[str, MutationConfig] = {
+    "default": MutationConfig(),
+    "key_only": MutationConfig(flip_key=0.15, relocate=0.0, reroute_partner=0.0),
+    "relocate_heavy": MutationConfig(flip_key=0.05, relocate=0.25, reroute_partner=0.0),
+    "reroute_heavy": MutationConfig(flip_key=0.05, relocate=0.0, reroute_partner=0.25),
+}

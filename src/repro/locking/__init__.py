@@ -1,0 +1,41 @@
+"""Logic-locking schemes and the locked-circuit container.
+
+Two scheme families are provided:
+
+* :class:`~repro.locking.rll.RandomLogicLocking` — the classic XOR/XNOR
+  key-gate insertion (EPIC-style), used as the non-MUX baseline.
+* :class:`~repro.locking.dmux.DMuxLocking` — deceptive pairwise MUX
+  locking after Sisejkovic et al. (D-MUX), the scheme AutoLock evolves.
+
+:mod:`repro.locking.genome_lock` turns an AutoLock genotype (a list of
+:class:`~repro.locking.dmux.MuxGene`) into a locked netlist — the
+genotype→phenotype mapping of the paper.
+"""
+
+from repro.locking.key import Key
+from repro.locking.base import LockedCircuit, LockingScheme
+from repro.locking.rll import RandomLogicLocking, XorInsertion
+from repro.locking.dmux import (
+    DMuxLocking,
+    MuxGene,
+    MuxPairInsertion,
+    apply_gene,
+    gene_applicable,
+    sample_gene,
+)
+from repro.locking.genome_lock import lock_with_genes
+
+__all__ = [
+    "Key",
+    "LockedCircuit",
+    "LockingScheme",
+    "RandomLogicLocking",
+    "XorInsertion",
+    "DMuxLocking",
+    "MuxGene",
+    "MuxPairInsertion",
+    "sample_gene",
+    "apply_gene",
+    "gene_applicable",
+    "lock_with_genes",
+]

@@ -1,0 +1,82 @@
+"""Genotype → phenotype mapping: build a locked netlist from MuxGenes.
+
+This is the encoding step of the AutoLock workflow (Fig. 1 of the paper):
+the GA manipulates lists of :class:`~repro.locking.dmux.MuxGene`, and this
+module turns such a list back into a concrete locked circuit whose key bit
+``i`` is gene ``i``'s ``k`` field.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import LockingError
+from repro.locking.base import LockedCircuit
+from repro.locking.dmux import MuxGene, MuxPairInsertion, apply_gene
+from repro.locking.key import Key
+from repro.netlist.netlist import Netlist
+
+
+def lock_with_genes(
+    original: Netlist,
+    genes: Sequence[MuxGene],
+    key_prefix: str = "keyinput",
+) -> LockedCircuit:
+    """Apply ``genes`` in order to a copy of ``original``.
+
+    Gene ``i`` is wired to key input ``{key_prefix}{i}`` (shared-key
+    D-MUX, one key bit per gene — the paper's encoding). Raises
+    :class:`~repro.errors.LockingError` if any gene is inapplicable;
+    the evolutionary operators are expected to repair genotypes *before*
+    building phenotypes.
+    """
+    if not genes:
+        raise LockingError("genotype must contain at least one gene")
+    seen_wires: set[tuple[str, str]] = set()
+    for idx, gene in enumerate(genes):
+        for wire in gene.wires:
+            if wire in seen_wires:
+                raise LockingError(
+                    f"gene {idx} reuses wire {wire[0]}->{wire[1]}; "
+                    "genotype needs repair"
+                )
+            seen_wires.add(wire)
+
+    locked = original.copy(f"{original.name}_auto{len(genes)}")
+    insertions: list[MuxPairInsertion] = []
+    for idx, gene in enumerate(genes):
+        try:
+            insertions.append(apply_gene(locked, gene, f"{key_prefix}{idx}"))
+        except LockingError as exc:
+            raise LockingError(f"gene {idx} inapplicable: {exc}") from exc
+
+    key = Key(
+        tuple(f"{key_prefix}{i}" for i in range(len(genes))),
+        tuple(g.k for g in genes),
+    )
+    return LockedCircuit(
+        netlist=locked,
+        key=key,
+        scheme="dmux-genotype",
+        original=original,
+        insertions=insertions,
+    )
+
+
+def genes_from_locked(locked: LockedCircuit) -> list[MuxGene]:
+    """Recover the genotype of a D-MUX-locked circuit (encoding step).
+
+    Only valid for shared-key insertions (one key bit per pair), i.e.
+    circuits produced by ``DMuxLocking(strategy="shared")`` or
+    :func:`lock_with_genes`.
+    """
+    genes: list[MuxGene] = []
+    for rec in locked.insertions:
+        if not isinstance(rec, MuxPairInsertion):
+            raise LockingError(
+                f"cannot encode scheme {locked.scheme!r} as a MUX genotype"
+            )
+        if rec.key_name_i != rec.key_name_j:
+            raise LockingError("two_key insertions have no single-bit genotype")
+        genes.append(MuxGene(rec.f_i, rec.g_i, rec.f_j, rec.g_j, rec.key_bit_i))
+    return genes

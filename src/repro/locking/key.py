@@ -1,0 +1,88 @@
+"""Key material for locked circuits."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LockingError
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Key(Mapping):
+    """An ordered assignment of key-input names to bits.
+
+    Behaves as an immutable mapping ``{key_name: 0|1}`` (the form the
+    simulator and attacks consume) while preserving bit order for
+    reporting (``bitstring``).
+    """
+
+    names: tuple[str, ...]
+    bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(self.bits):
+            raise LockingError(
+                f"{len(self.names)} key names but {len(self.bits)} bits"
+            )
+        if len(set(self.names)) != len(self.names):
+            raise LockingError("duplicate key-input names")
+        if any(b not in (0, 1) for b in self.bits):
+            raise LockingError(f"key bits must be 0/1, got {self.bits}")
+
+    # Mapping protocol -------------------------------------------------
+    def __getitem__(self, name: str) -> int:
+        try:
+            return self.bits[self.names.index(name)]
+        except ValueError:
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    # Construction helpers ---------------------------------------------
+    @classmethod
+    def random(
+        cls, length: int, seed_or_rng=None, prefix: str = "keyinput"
+    ) -> "Key":
+        """Uniformly random key of ``length`` bits."""
+        rng = derive_rng(seed_or_rng)
+        names = tuple(f"{prefix}{i}" for i in range(length))
+        bits = tuple(int(b) for b in rng.integers(0, 2, size=length))
+        return cls(names, bits)
+
+    @classmethod
+    def from_bits(cls, bits, prefix: str = "keyinput") -> "Key":
+        """Key from an iterable of 0/1 with default names."""
+        bits = tuple(int(b) for b in bits)
+        names = tuple(f"{prefix}{i}" for i in range(len(bits)))
+        return cls(names, bits)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, int]) -> "Key":
+        """Key from an existing name→bit mapping (insertion order kept)."""
+        names = tuple(mapping)
+        return cls(names, tuple(int(mapping[n]) for n in names))
+
+    # Reporting ----------------------------------------------------------
+    @property
+    def bitstring(self) -> str:
+        """Key bits as a left-to-right string, e.g. ``"0110"``."""
+        return "".join(str(b) for b in self.bits)
+
+    def hamming_distance(self, other: "Key") -> int:
+        """Number of differing bits (keys must share names in order)."""
+        if self.names != other.names:
+            raise LockingError("cannot compare keys with different key inputs")
+        return sum(a != b for a, b in zip(self.bits, other.bits))
+
+    def flipped(self, index: int) -> "Key":
+        """Copy with bit ``index`` inverted (wrong-key experiments)."""
+        bits = list(self.bits)
+        bits[index] ^= 1
+        return Key(self.names, tuple(bits))

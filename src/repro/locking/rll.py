@@ -1,0 +1,112 @@
+"""Random logic locking (RLL): XOR/XNOR key-gate insertion.
+
+The classic EPIC-style scheme (Roy et al.): for each key bit pick a net,
+cut it, and insert an XOR (correct bit 0) or XNOR (correct bit 1) key
+gate. All consumers of the net are rewired to the key-gate output, so the
+key gate sits *in the net*, matching the published scheme.
+
+RLL is the baseline the oracle-less attacks break easily (the key gate's
+type leaks the bit once an attacker learns the re-synthesis conventions),
+which is exactly the role it plays in experiments E4/E5/E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LockingError
+from repro.locking.base import LockedCircuit, LockingScheme
+from repro.locking.key import Key
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class XorInsertion:
+    """Ground-truth record of one XOR/XNOR key gate.
+
+    ``locked_signal`` is the net that was cut; ``keygate`` the inserted
+    gate name; ``key_bit`` the correct value of ``key_name``.
+    """
+
+    key_name: str
+    key_bit: int
+    locked_signal: str
+    keygate: str
+    rewired_pins: tuple[tuple[str, int], ...]
+
+    @property
+    def consumer_pins(self) -> tuple[tuple[str, int], ...]:
+        return self.rewired_pins
+
+
+class RandomLogicLocking(LockingScheme):
+    """EPIC-style XOR/XNOR random logic locking."""
+
+    name = "rll"
+
+    def __init__(self, key_prefix: str = "keyinput") -> None:
+        self._key_prefix = key_prefix
+
+    def lock(
+        self, netlist: Netlist, key_length: int, seed_or_rng=None
+    ) -> LockedCircuit:
+        self._require_positive_key(key_length)
+        rng = derive_rng(seed_or_rng)
+        original = netlist
+        locked = netlist.copy(f"{netlist.name}_rll{key_length}")
+
+        # Candidate nets: any signal that drives at least one gate pin and
+        # is not itself a primary output (cutting a PO net would change the
+        # output name), a constant driver, or a key wire (re-locking an
+        # already-locked design must not cut key-distribution nets).
+        outputs = set(locked.outputs)
+        key_wires = set(locked.key_inputs)
+        candidates = [
+            sig
+            for sig in locked.signals()
+            if locked.fanout_count(sig) > 0
+            and sig not in outputs
+            and sig not in key_wires
+            and (
+                sig not in locked.gates
+                or locked.gates[sig].gtype
+                not in (GateType.CONST0, GateType.CONST1)
+            )
+        ]
+        if len(candidates) < key_length:
+            raise LockingError(
+                f"{netlist.name}: only {len(candidates)} lockable nets for "
+                f"key length {key_length}"
+            )
+        order = rng.permutation(len(candidates))
+        chosen = [candidates[int(i)] for i in order[:key_length]]
+
+        key = Key.random(key_length, rng, prefix=self._key_prefix)
+        insertions: list[XorInsertion] = []
+        for key_name, bit, signal in zip(key.names, key.bits, chosen):
+            locked.add_key_input(key_name)
+            gtype = GateType.XNOR if bit else GateType.XOR
+            keygate = locked.fresh_name(f"kg_{key_name}")
+            consumers = tuple(locked.fanouts()[signal])
+            locked.add_gate(keygate, gtype, [signal, key_name])
+            for gate_name, pin in consumers:
+                locked.rewire_pin(gate_name, pin, keygate)
+            insertions.append(
+                XorInsertion(
+                    key_name=key_name,
+                    key_bit=bit,
+                    locked_signal=signal,
+                    keygate=keygate,
+                    rewired_pins=consumers,
+                )
+            )
+        locked.topological_order()  # sanity: still acyclic
+        return LockedCircuit(
+            netlist=locked,
+            key=key,
+            scheme=self.name,
+            original=original,
+            insertions=insertions,
+        )

@@ -1,0 +1,14 @@
+"""Security and cost metrics for locked designs."""
+
+from repro.metrics.security import KpaScore, score_guesses
+from repro.metrics.overhead import OverheadReport, overhead_report
+from repro.metrics.corruption import CorruptionReport, corruption_report
+
+__all__ = [
+    "KpaScore",
+    "score_guesses",
+    "OverheadReport",
+    "overhead_report",
+    "CorruptionReport",
+    "corruption_report",
+]

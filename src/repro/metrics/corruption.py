@@ -1,0 +1,87 @@
+"""Wrong-key output corruption (experiment E10).
+
+A locking scheme is only useful if wrong keys actually corrupt the
+function; a scheme with near-zero corruption can be ignored rather than
+attacked. We sample random wrong keys and single-bit-flip keys and report
+both corruption rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.locking.base import LockedCircuit
+from repro.sim.equivalence import output_error_rate
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class CorruptionReport:
+    """Output corruption statistics of a locked design."""
+
+    design: str
+    scheme: str
+    key_length: int
+    correct_key_error: float
+    mean_random_wrong_error: float
+    mean_single_flip_error: float
+    worst_single_flip_error: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.design:<14} {self.scheme:<14} K={self.key_length:<4} "
+            f"correct={self.correct_key_error:.4f} "
+            f"rand_wrong={self.mean_random_wrong_error:.4f} "
+            f"flip_mean={self.mean_single_flip_error:.4f} "
+            f"flip_worst={self.worst_single_flip_error:.4f}"
+        )
+
+
+def corruption_report(
+    locked: LockedCircuit,
+    n_wrong_keys: int = 8,
+    n_patterns: int = 1024,
+    seed_or_rng=None,
+) -> CorruptionReport:
+    """Measure corruption under the correct key, random wrong keys, and
+    every single-bit flip of the correct key."""
+    rng = derive_rng(seed_or_rng)
+    original, netlist, key = locked.original, locked.netlist, locked.key
+
+    correct_err = output_error_rate(
+        original, netlist, dict(key), n_patterns=n_patterns, seed_or_rng=rng
+    )
+
+    wrong_errs: list[float] = []
+    for _ in range(n_wrong_keys):
+        bits = [int(b) for b in rng.integers(0, 2, size=len(key))]
+        if tuple(bits) == key.bits:
+            bits[0] ^= 1
+        wrong = dict(zip(key.names, bits))
+        wrong_errs.append(
+            output_error_rate(
+                original, netlist, wrong, n_patterns=n_patterns, seed_or_rng=rng
+            )
+        )
+
+    flip_errs = [
+        output_error_rate(
+            original,
+            netlist,
+            dict(key.flipped(i)),
+            n_patterns=n_patterns,
+            seed_or_rng=rng,
+        )
+        for i in range(len(key))
+    ]
+    return CorruptionReport(
+        design=original.name,
+        scheme=locked.scheme,
+        key_length=len(key),
+        correct_key_error=correct_err,
+        mean_random_wrong_error=float(np.mean(wrong_errs)) if wrong_errs else 0.0,
+        mean_single_flip_error=float(np.mean(flip_errs)) if flip_errs else 0.0,
+        worst_single_flip_error=float(np.max(flip_errs)) if flip_errs else 0.0,
+    )

@@ -1,0 +1,110 @@
+"""Area / depth / power-proxy overhead of locking (experiment E9).
+
+Absolute numbers are technology-dependent; these proxies use the usual
+unit-area convention (NAND2 = 1) so *relative* overhead between schemes —
+the quantity the literature reports — is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.sim.patterns import random_patterns, unpack_bits
+from repro.sim.simulator import simulate
+from repro.sim.patterns import constant_words
+
+#: Unit areas per 2-input gate (NAND2 = 1.0, roughly Nangate-45 relative).
+_UNIT_AREA: dict[GateType, float] = {
+    GateType.BUF: 0.75,
+    GateType.NOT: 0.5,
+    GateType.AND: 1.25,
+    GateType.NAND: 1.0,
+    GateType.OR: 1.25,
+    GateType.NOR: 1.0,
+    GateType.XOR: 2.0,
+    GateType.XNOR: 2.0,
+    GateType.MUX: 2.25,
+    GateType.CONST0: 0.0,
+    GateType.CONST1: 0.0,
+}
+
+
+def area_estimate(netlist: Netlist) -> float:
+    """Unit-area estimate: wide gates cost ``(fanin - 1)`` 2-input units."""
+    total = 0.0
+    for gate in netlist.gates.values():
+        base = _UNIT_AREA[gate.gtype]
+        width_factor = max(1, len(gate.fanins) - 1)
+        total += base * width_factor
+    return total
+
+
+def switching_activity(
+    netlist: Netlist, n_patterns: int = 1024, seed_or_rng=None, key=None
+) -> float:
+    """Mean transition probability ``2·p·(1-p)`` over all gate outputs.
+
+    A proxy for dynamic power under uniform random stimuli.
+    """
+    packed = random_patterns(netlist.inputs, n_patterns, seed_or_rng)
+    for name, bit in dict(key or {}).items():
+        packed[name] = constant_words(int(bit) & 1, n_patterns)
+    result = simulate(netlist, packed, n_patterns)
+    if not netlist.gates:
+        return 0.0
+    activities = []
+    for name in netlist.gates:
+        p = float(unpack_bits(result.words[name], n_patterns).mean())
+        activities.append(2.0 * p * (1.0 - p))
+    return float(np.mean(activities))
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Locking overhead relative to the original design."""
+
+    design: str
+    scheme: str
+    key_length: int
+    gate_overhead: float
+    area_overhead: float
+    depth_overhead: float
+    power_overhead: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.design:<14} {self.scheme:<14} K={self.key_length:<4} "
+            f"gates=+{self.gate_overhead * 100:6.2f}%  "
+            f"area=+{self.area_overhead * 100:6.2f}%  "
+            f"depth=+{self.depth_overhead * 100:6.2f}%  "
+            f"power={self.power_overhead * 100:+6.2f}%"
+        )
+
+
+def overhead_report(
+    original: Netlist,
+    locked: Netlist,
+    key,
+    scheme: str,
+    n_patterns: int = 1024,
+    seed_or_rng=None,
+) -> OverheadReport:
+    """Compute all overhead proxies for one locked design."""
+    base_gates = max(1, len(original.gates))
+    base_area = max(1e-9, area_estimate(original))
+    base_depth = max(1, original.depth())
+    base_power = max(1e-9, switching_activity(original, n_patterns, seed_or_rng))
+    locked_power = switching_activity(locked, n_patterns, seed_or_rng, key=key)
+    return OverheadReport(
+        design=original.name,
+        scheme=scheme,
+        key_length=len(locked.key_inputs),
+        gate_overhead=(len(locked.gates) - base_gates) / base_gates,
+        area_overhead=(area_estimate(locked) - base_area) / base_area,
+        depth_overhead=(locked.depth() - base_depth) / base_depth,
+        power_overhead=(locked_power - base_power) / base_power,
+    )

@@ -1,0 +1,85 @@
+"""Key-prediction scoring (the fitness signal of AutoLock).
+
+Terminology follows the MuxLink paper:
+
+* **accuracy** — correctly recovered key bits over *all* key bits, with
+  undecided bits counted as half (the expected score of coin-flipping
+  them). 0.5 therefore means "no information", 1.0 full key recovery.
+  This is the quantity AutoLock minimises.
+* **precision** — correct bits over *decided* bits only; measures how
+  trustworthy the attack's confident answers are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import AttackError
+
+
+@dataclass(frozen=True)
+class KpaScore:
+    """Key-prediction accuracy breakdown (see module docstring)."""
+
+    n_bits: int
+    n_decided: int
+    n_correct: int
+
+    @property
+    def accuracy(self) -> float:
+        """Correct / total, undecided bits scored as 0.5."""
+        if self.n_bits == 0:
+            return 0.5
+        undecided = self.n_bits - self.n_decided
+        return (self.n_correct + 0.5 * undecided) / self.n_bits
+
+    @property
+    def precision(self) -> float:
+        """Correct / decided (1.0 by convention when nothing was decided)."""
+        if self.n_decided == 0:
+            return 1.0
+        return self.n_correct / self.n_decided
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of key bits the attack committed to."""
+        if self.n_bits == 0:
+            return 0.0
+        return self.n_decided / self.n_bits
+
+    def as_row(self) -> str:
+        return (
+            f"bits={self.n_bits:<4} decided={self.n_decided:<4} "
+            f"correct={self.n_correct:<4} accuracy={self.accuracy:.3f} "
+            f"precision={self.precision:.3f}"
+        )
+
+
+def score_guesses(
+    guesses: Mapping[str, int | None], truth: Mapping[str, int]
+) -> KpaScore:
+    """Score per-key-bit ``guesses`` (``None`` = undecided) against ``truth``.
+
+    Every key bit in ``truth`` must have an entry in ``guesses``; attacks
+    emit explicit ``None`` rather than omitting bits, so silent coverage
+    gaps cannot inflate precision.
+    """
+    missing = [k for k in truth if k not in guesses]
+    if missing:
+        raise AttackError(f"guesses missing key bits {missing[:4]}")
+    extra = [k for k in guesses if k not in truth]
+    if extra:
+        raise AttackError(f"guesses for unknown key bits {extra[:4]}")
+    n_decided = 0
+    n_correct = 0
+    for name, want in truth.items():
+        got = guesses[name]
+        if got is None:
+            continue
+        if got not in (0, 1):
+            raise AttackError(f"guess for {name!r} must be 0/1/None, got {got!r}")
+        n_decided += 1
+        if got == want:
+            n_correct += 1
+    return KpaScore(n_bits=len(truth), n_decided=n_decided, n_correct=n_correct)

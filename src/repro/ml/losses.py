@@ -1,0 +1,33 @@
+"""Loss functions returning ``(scalar_loss, gradient_wrt_input)``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bce_with_logits(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    ``loss = mean(max(z,0) - z*t + log(1 + exp(-|z|)))`` with gradient
+    ``(sigmoid(z) - t) / n``; both vectorised over any shape.
+    """
+    z = np.asarray(logits, dtype=float)
+    t = np.asarray(targets, dtype=float)
+    if z.shape != t.shape:
+        raise ValueError(f"shape mismatch: logits {z.shape} vs targets {t.shape}")
+    loss = np.maximum(z, 0.0) - z * t + np.log1p(np.exp(-np.abs(z)))
+    sig = 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+    grad = (sig - t) / z.size
+    return float(loss.mean()), grad
+
+
+def mse_loss(pred: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error with gradient."""
+    p = np.asarray(pred, dtype=float)
+    t = np.asarray(targets, dtype=float)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: pred {p.shape} vs targets {t.shape}")
+    diff = p - t
+    return float((diff**2).mean()), 2.0 * diff / p.size

@@ -1,0 +1,64 @@
+"""Optimizers: plain SGD (with momentum) and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.layers import Param
+
+
+class Sgd:
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params: list[Param], lr: float = 0.1, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self._params = params
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        """Apply one update and clear gradients."""
+        for p, v in zip(self._params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.value += v
+            else:
+                p.value -= self.lr * p.grad
+            p.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Param],
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self._params = params
+        self.lr, self.beta1, self.beta2, self.eps = lr, beta1, beta2, eps
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update and clear gradients."""
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for p, m, v in zip(self._params, self._m, self._v):
+            m *= b1
+            m += (1 - b1) * p.grad
+            v *= b2
+            v += (1 - b2) * p.grad**2
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.zero_grad()

@@ -1,0 +1,158 @@
+"""Gate types and their Boolean semantics.
+
+The library models combinational gates only: the ISCAS-85 suite (and all
+locking/attack literature this reproduction follows) is combinational, and
+sequential elements would only complicate the SAT and simulation substrates
+without exercising any additional AutoLock behaviour.
+
+Semantics are defined once, over numpy ``uint64`` words, and reused by the
+bit-parallel simulator; single-bit evaluation simply runs the same function
+on width-1 arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+
+class GateType(enum.Enum):
+    """Supported combinational gate types.
+
+    ``MUX`` follows the convention ``MUX(sel, d0, d1)``: output is ``d0``
+    when ``sel`` is 0 and ``d1`` when ``sel`` is 1. This matches how
+    key-controlled multiplexers are written in the MUX-locking literature
+    (the key bit is the select input).
+    """
+
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    MUX = "MUX"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# Minimum/maximum fanin counts per gate type. ``None`` means unbounded:
+# ISCAS netlists contain up to 9-input NAND/NOR gates, and n-ary XOR is the
+# usual parity-reduction convention.
+_ARITY: dict[GateType, tuple[int, int | None]] = {
+    GateType.BUF: (1, 1),
+    GateType.NOT: (1, 1),
+    GateType.AND: (2, None),
+    GateType.NAND: (2, None),
+    GateType.OR: (2, None),
+    GateType.NOR: (2, None),
+    GateType.XOR: (2, None),
+    GateType.XNOR: (2, None),
+    GateType.MUX: (3, 3),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+}
+
+#: Gate types whose output inverts the "natural" reduction; used by
+#: structural feature extraction in the MuxLink attack.
+INVERTING_TYPES = frozenset({GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR})
+
+
+def arity_bounds(gtype: GateType) -> tuple[int, int | None]:
+    """Return ``(min_fanin, max_fanin)`` for ``gtype`` (max ``None`` = unbounded)."""
+    return _ARITY[gtype]
+
+
+def check_arity(gtype: GateType, n_fanins: int) -> None:
+    """Raise :class:`NetlistError` if ``n_fanins`` is illegal for ``gtype``."""
+    lo, hi = _ARITY[gtype]
+    if n_fanins < lo or (hi is not None and n_fanins > hi):
+        bound = f"exactly {lo}" if hi == lo else f"between {lo} and {hi or 'inf'}"
+        raise NetlistError(
+            f"{gtype.value} gate requires {bound} fanins, got {n_fanins}"
+        )
+
+
+def evaluate_words(gtype: GateType, fanin_words: list[np.ndarray]) -> np.ndarray:
+    """Evaluate ``gtype`` over bit-packed ``uint64`` fanin words.
+
+    Each array in ``fanin_words`` holds the same number of 64-pattern words;
+    the result has the same shape. This single function defines the gate
+    semantics for the whole library.
+    """
+    t = gtype
+    if t is GateType.CONST0:
+        raise NetlistError("CONST0 takes no fanins; caller supplies the zero word")
+    if t is GateType.CONST1:
+        raise NetlistError("CONST1 takes no fanins; caller supplies the ones word")
+    if t is GateType.BUF:
+        return fanin_words[0].copy()
+    if t is GateType.NOT:
+        return ~fanin_words[0]
+    if t is GateType.MUX:
+        sel, d0, d1 = fanin_words
+        return (~sel & d0) | (sel & d1)
+
+    acc = fanin_words[0].copy()
+    if t in (GateType.AND, GateType.NAND):
+        for w in fanin_words[1:]:
+            acc &= w
+        return ~acc if t is GateType.NAND else acc
+    if t in (GateType.OR, GateType.NOR):
+        for w in fanin_words[1:]:
+            acc |= w
+        return ~acc if t is GateType.NOR else acc
+    if t in (GateType.XOR, GateType.XNOR):
+        for w in fanin_words[1:]:
+            acc ^= w
+        return ~acc if t is GateType.XNOR else acc
+    raise NetlistError(f"unknown gate type {t!r}")  # pragma: no cover
+
+
+def evaluate_bits(gtype: GateType, fanin_bits: list[int]) -> int:
+    """Evaluate ``gtype`` on plain 0/1 integers (reference semantics)."""
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    words = [np.array([np.uint64(0xFFFFFFFFFFFFFFFF if b else 0)]) for b in fanin_bits]
+    return int(evaluate_words(gtype, words)[0] & np.uint64(1))
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A named gate: output signal ``name`` computed as ``gtype(*fanins)``.
+
+    Gates are immutable; rewiring a pin replaces the whole ``Gate`` object
+    inside the owning :class:`~repro.netlist.netlist.Netlist`. That keeps
+    accidental aliasing between copied netlists impossible.
+    """
+
+    name: str
+    gtype: GateType
+    fanins: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        check_arity(self.gtype, len(self.fanins))
+
+    def with_fanin(self, pin: int, new_src: str) -> "Gate":
+        """Return a copy of this gate with fanin ``pin`` driven by ``new_src``."""
+        if not 0 <= pin < len(self.fanins):
+            raise NetlistError(
+                f"gate {self.name}: pin {pin} out of range 0..{len(self.fanins) - 1}"
+            )
+        fanins = list(self.fanins)
+        fanins[pin] = new_src
+        return Gate(self.name, self.gtype, tuple(fanins))
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.gtype.value}({', '.join(self.fanins)})"

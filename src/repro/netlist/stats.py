@@ -1,0 +1,54 @@
+"""Netlist statistics used for reporting and overhead metrics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary statistics of a netlist (see :func:`compute_stats`)."""
+
+    name: str
+    n_inputs: int
+    n_key_inputs: int
+    n_outputs: int
+    n_gates: int
+    depth: int
+    gate_type_counts: dict[str, int] = field(default_factory=dict)
+    avg_fanin: float = 0.0
+    avg_fanout: float = 0.0
+    max_fanout: int = 0
+
+    def as_row(self) -> str:
+        """One-line fixed-width summary (benchmark tables)."""
+        return (
+            f"{self.name:<14} PI={self.n_inputs:<4} K={self.n_key_inputs:<4} "
+            f"PO={self.n_outputs:<4} gates={self.n_gates:<6} depth={self.depth:<3} "
+            f"avg_fanin={self.avg_fanin:.2f} avg_fanout={self.avg_fanout:.2f}"
+        )
+
+
+def compute_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for ``netlist``."""
+    type_counts = Counter(g.gtype.value for g in netlist.gates.values())
+    n_pins = sum(len(g.fanins) for g in netlist.gates.values())
+    fanouts = netlist.fanouts()
+    fanout_sizes = [len(v) for v in fanouts.values()]
+    n_gates = len(netlist.gates)
+    n_signals = len(fanout_sizes)
+    return NetlistStats(
+        name=netlist.name,
+        n_inputs=len(netlist.inputs),
+        n_key_inputs=len(netlist.key_inputs),
+        n_outputs=len(netlist.outputs),
+        n_gates=n_gates,
+        depth=netlist.depth(),
+        gate_type_counts=dict(sorted(type_counts.items())),
+        avg_fanin=(n_pins / n_gates) if n_gates else 0.0,
+        avg_fanout=(sum(fanout_sizes) / n_signals) if n_signals else 0.0,
+        max_fanout=max(fanout_sizes, default=0),
+    )

@@ -1,0 +1,73 @@
+"""Whole-netlist structural validation.
+
+:func:`validate_netlist` is the single checkpoint the test-suite and the
+evolutionary engine use to assert that a (possibly heavily mutated) netlist
+is still a well-formed combinational design. It either returns quietly or
+raises :class:`~repro.errors.NetlistError` describing the first violation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.gates import check_arity
+from repro.netlist.netlist import Netlist
+
+
+def validate_netlist(netlist: Netlist, require_outputs: bool = True) -> None:
+    """Check structural well-formedness of ``netlist``.
+
+    Verifies (in order):
+
+    1. input / key-input / gate names are unique across all three namespaces;
+    2. every gate fanin references an existing signal;
+    3. every gate respects its type's arity bounds;
+    4. every declared output names an existing signal, without duplicates;
+    5. the gate graph is acyclic;
+    6. (optional) at least one primary output exists.
+    """
+    seen: set[str] = set()
+    for kind, names in (
+        ("input", netlist.inputs),
+        ("key input", netlist.key_inputs),
+        ("gate", list(netlist.gates)),
+    ):
+        for name in names:
+            if name in seen:
+                raise NetlistError(f"duplicate signal name {name!r} (as {kind})")
+            seen.add(name)
+
+    for gate in netlist.gates.values():
+        check_arity(gate.gtype, len(gate.fanins))
+        for src in gate.fanins:
+            if src not in seen:
+                raise NetlistError(
+                    f"gate {gate.name!r} references undefined signal {src!r}"
+                )
+
+    out_seen: set[str] = set()
+    for out in netlist.outputs:
+        if out not in seen:
+            raise NetlistError(f"output {out!r} has no driver")
+        if out in out_seen:
+            raise NetlistError(f"output {out!r} declared twice")
+        out_seen.add(out)
+
+    netlist.topological_order()  # raises on cycles
+
+    if require_outputs and not netlist.outputs:
+        raise NetlistError("netlist declares no primary outputs")
+
+
+def dangling_signals(netlist: Netlist) -> list[str]:
+    """Signals that drive nothing and are not primary outputs.
+
+    Dangling logic is legal but usually indicates a locking bug, so the
+    test-suite checks that transformations do not create any.
+    """
+    fanouts = netlist.fanouts()
+    outputs = set(netlist.outputs)
+    return sorted(
+        s
+        for s in netlist.signals()
+        if not fanouts.get(s) and s not in outputs
+    )

@@ -1,0 +1,75 @@
+"""Structural Verilog writer.
+
+Write-only: the locking flow consumes ``.bench`` but hardware teams usually
+want Verilog out, so locked designs can be handed to synthesis. Multi-input
+gates map to Verilog primitive instantiations; ``MUX`` and constants map to
+``assign`` statements.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+_PRIMITIVES = {
+    GateType.BUF: "buf",
+    GateType.NOT: "not",
+    GateType.AND: "and",
+    GateType.NAND: "nand",
+    GateType.OR: "or",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+}
+
+_ID_OK = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _escape(name: str) -> str:
+    """Escape signal names that are not plain Verilog identifiers."""
+    if _ID_OK.match(name):
+        return name
+    return f"\\{name} "
+
+
+def write_verilog(netlist: Netlist, module_name: str | None = None) -> str:
+    """Serialise ``netlist`` as a structural Verilog module."""
+    module = module_name or re.sub(r"\W", "_", netlist.name) or "design"
+    ports = [_escape(s) for s in netlist.all_inputs + netlist.outputs]
+    lines = [f"// generated from netlist {netlist.name!r}"]
+    lines.append(f"module {module}({', '.join(ports)});")
+    for sig in netlist.inputs:
+        lines.append(f"  input {_escape(sig)};")
+    for sig in netlist.key_inputs:
+        lines.append(f"  input {_escape(sig)};  // key input")
+    for sig in netlist.outputs:
+        lines.append(f"  output {_escape(sig)};")
+    inputs = set(netlist.all_inputs)
+    for name in netlist.topological_order():
+        if name not in inputs:
+            lines.append(f"  wire {_escape(name)};")
+    lines.append("")
+    for idx, name in enumerate(netlist.topological_order()):
+        gate = netlist.gates[name]
+        out = _escape(name)
+        srcs = [_escape(s) for s in gate.fanins]
+        if gate.gtype is GateType.CONST0:
+            lines.append(f"  assign {out} = 1'b0;")
+        elif gate.gtype is GateType.CONST1:
+            lines.append(f"  assign {out} = 1'b1;")
+        elif gate.gtype is GateType.MUX:
+            sel, d0, d1 = srcs
+            lines.append(f"  assign {out} = {sel} ? {d1} : {d0};")
+        else:
+            prim = _PRIMITIVES[gate.gtype]
+            lines.append(f"  {prim} g{idx}({out}, {', '.join(srcs)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog_file(netlist: Netlist, path: str | Path, **kwargs) -> None:
+    """Write ``netlist`` to ``path`` as structural Verilog."""
+    Path(path).write_text(write_verilog(netlist, **kwargs))

@@ -1,0 +1,501 @@
+"""Conflict-driven clause learning (CDCL) SAT solver.
+
+A self-contained MiniSat-style solver: two watched literals, VSIDS
+branching with phase saving, first-UIP clause learning with backjumping,
+Luby-sequence restarts and activity-based learned-clause reduction. It
+supports incremental use — clauses may be added between ``solve`` calls
+and assumptions passed per call — which is exactly the workload of the
+oracle-guided SAT attack (one miter, growing set of DIP constraints).
+
+The solver is intentionally free of external dependencies; the test suite
+cross-checks it against the reference DPLL solver and brute force on
+random formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappush, heappop
+from typing import Iterable, Sequence
+
+from repro.errors import CnfError
+from repro.sat.cnf import Cnf
+
+_UNDEF, _TRUE, _FALSE = -1, 1, 0
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,…"""
+    if i < 1:
+        raise ValueError(f"luby index must be >= 1, got {i}")
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated across all ``solve`` calls of one solver."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned: int = 0
+    deleted: int = 0
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one ``solve`` call.
+
+    ``status`` is ``"sat"``, ``"unsat"`` or ``"unknown"`` (conflict budget
+    exhausted). ``model`` maps every variable to a bool when SAT.
+    """
+
+    status: str
+    model: dict[int, bool] | None = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+class CdclSolver:
+    """CDCL solver over a :class:`Cnf` (which it does not mutate)."""
+
+    def __init__(self, cnf: Cnf) -> None:
+        self._n_vars = cnf.n_vars
+        n = self._n_vars + 1
+        self._assign = [_UNDEF] * n
+        self._level = [0] * n
+        self._reason: list[int | None] = [None] * n
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._clauses: list[list[int]] = []
+        self._learned_idx: set[int] = set()
+        self._clause_activity: dict[int, float] = {}
+        self._watches: dict[int, list[int]] = {}
+        self._activity = [0.0] * n
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._phase = [False] * n
+        self._order: list[tuple[float, int]] = []
+        self._unsat = False
+        self.stats = SolverStats()
+        for var in range(1, n):
+            heappush(self._order, (0.0, var))
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+    def ensure_vars(self, n_vars: int) -> None:
+        """Grow the variable space to ``n_vars`` (incremental workloads).
+
+        The SAT attack adds freshly encoded circuit copies between solve
+        calls; this extends all per-variable state without disturbing the
+        existing assignment (must be called at decision level 0).
+        """
+        if n_vars <= self._n_vars:
+            return
+        if self._trail_lim:
+            raise CnfError("ensure_vars requires decision level 0")
+        grow = n_vars - self._n_vars
+        self._assign.extend([_UNDEF] * grow)
+        self._level.extend([0] * grow)
+        self._reason.extend([None] * grow)
+        self._activity.extend([0.0] * grow)
+        self._phase.extend([False] * grow)
+        for var in range(self._n_vars + 1, n_vars + 1):
+            heappush(self._order, (0.0, var))
+        self._n_vars = n_vars
+
+    def _value(self, lit: int) -> int:
+        v = self._assign[abs(lit)]
+        if v == _UNDEF:
+            return _UNDEF
+        return v if lit > 0 else 1 - v
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a problem clause. Must be called with the trail at level 0
+        (i.e. before ``solve`` or between ``solve`` calls)."""
+        if self._trail_lim:
+            raise CnfError("add_clause requires decision level 0")
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            if lit == 0 or abs(lit) > self._n_vars:
+                raise CnfError(f"invalid literal {lit}")
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            # Skip literals already false at level 0; satisfied clause -> drop.
+            if self._value(lit) == _TRUE and self._level[abs(lit)] == 0:
+                return
+            if self._value(lit) == _FALSE and self._level[abs(lit)] == 0:
+                continue
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._unsat = True
+            elif self._propagate() is not None:
+                self._unsat = True
+            return
+        self._attach(clause, learned=False)
+
+    def _attach(self, clause: list[int], learned: bool) -> int:
+        idx = len(self._clauses)
+        self._clauses.append(clause)
+        self._watches.setdefault(clause[0], []).append(idx)
+        self._watches.setdefault(clause[1], []).append(idx)
+        if learned:
+            self._learned_idx.add(idx)
+            self._clause_activity[idx] = self._cla_inc
+            self.stats.learned += 1
+        return idx
+
+    # ------------------------------------------------------------------
+    # Assignment / propagation
+    # ------------------------------------------------------------------
+    @property
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: int | None) -> bool:
+        val = self._value(lit)
+        if val == _FALSE:
+            return False
+        if val == _TRUE:
+            return True
+        var = abs(lit)
+        self._assign[var] = _TRUE if lit > 0 else _FALSE
+        self._level[var] = self._decision_level
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> int | None:
+        """Exhaustive unit propagation; returns a conflicting clause index."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            neg = -lit
+            watch_list = self._watches.get(neg, [])
+            kept: list[int] = []
+            i = 0
+            conflict: int | None = None
+            while i < len(watch_list):
+                ci = watch_list[i]
+                i += 1
+                clause = self._clauses[ci]
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == _TRUE:
+                    kept.append(ci)
+                    continue
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != _FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(clause[1], []).append(ci)
+                        break
+                else:
+                    kept.append(ci)
+                    if not self._enqueue(first, ci):
+                        conflict = ci
+                        kept.extend(watch_list[i:])
+                        break
+            self._watches[neg] = kept
+            if conflict is not None:
+                self._qhead = len(self._trail)
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._n_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heappush(self._order, (-self._activity[var], var))
+
+    def _bump_clause(self, idx: int) -> None:
+        if idx in self._learned_idx:
+            self._clause_activity[idx] = (
+                self._clause_activity.get(idx, 0.0) + self._cla_inc
+            )
+            if self._clause_activity[idx] > 1e100:
+                for ci in self._clause_activity:
+                    self._clause_activity[ci] *= 1e-100
+                self._cla_inc *= 1e-100
+
+    def _analyze(self, confl: int) -> tuple[list[int], int]:
+        """First-UIP learning. Returns (learnt_clause, backjump_level)."""
+        learnt: list[int] = []
+        seen = [False] * (self._n_vars + 1)
+        counter = 0
+        p: int | None = None
+        idx = len(self._trail) - 1
+        cur_level = self._decision_level
+        clause = self._clauses[confl]
+        self._bump_clause(confl)
+        while True:
+            for q in clause:
+                if q == p:
+                    # Skip the literal this clause implied (resolution pivot).
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self._trail[idx])]:
+                idx -= 1
+            p = self._trail[idx]
+            idx -= 1
+            seen[abs(p)] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[abs(p)]
+            assert reason is not None, "non-decision literal must have a reason"
+            clause = self._clauses[reason]
+            self._bump_clause(reason)
+        learnt.insert(0, -p)
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest level in the clause; move that
+        # literal to position 1 so it is watched.
+        max_i = max(range(1, len(learnt)), key=lambda i: self._level[abs(learnt[i])])
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self._level[abs(learnt[1])]
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level <= level:
+            return
+        boundary = self._trail_lim[level]
+        for lit in reversed(self._trail[boundary:]):
+            var = abs(lit)
+            self._phase[var] = self._assign[var] == _TRUE
+            self._assign[var] = _UNDEF
+            self._reason[var] = None
+            heappush(self._order, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Learned-clause DB reduction
+    # ------------------------------------------------------------------
+    def _locked(self, idx: int) -> bool:
+        clause = self._clauses[idx]
+        var = abs(clause[0])
+        return self._reason[var] == idx and self._assign[var] != _UNDEF
+
+    def _reduce_db(self) -> None:
+        """Drop the less active half of learned clauses (keep binary/locked)."""
+        candidates = [
+            ci
+            for ci in self._learned_idx
+            if len(self._clauses[ci]) > 2 and not self._locked(ci)
+        ]
+        if len(candidates) < 100:
+            return
+        candidates.sort(key=lambda ci: self._clause_activity.get(ci, 0.0))
+        to_drop = set(candidates[: len(candidates) // 2])
+        for ci in to_drop:
+            clause = self._clauses[ci]
+            for w in clause[:2]:
+                lst = self._watches.get(w, [])
+                if ci in lst:
+                    lst.remove(ci)
+            self._clauses[ci] = clause  # keep list slot; mark deleted below
+            self._learned_idx.discard(ci)
+            self._clause_activity.pop(ci, None)
+            self.stats.deleted += 1
+            # Replace with an empty marker that can never be touched again
+            # (it is no longer watched anywhere).
+            self._clauses[ci] = [0, 0]
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> int | None:
+        while self._order:
+            _neg_act, var = heappop(self._order)
+            if self._assign[var] == _UNDEF:
+                return var
+        for var in range(1, self._n_vars + 1):  # safety net for stale heap
+            if self._assign[var] == _UNDEF:
+                return var
+        return None
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: int | None = None,
+    ) -> SolverResult:
+        """Solve under ``assumptions``; ``max_conflicts`` bounds the search.
+
+        The solver state (learned clauses, activities, phases) persists
+        across calls, which makes repeated related queries — the DIP loop
+        of the SAT attack — progressively cheaper.
+        """
+        if self._unsat:
+            return SolverResult(status="unsat", stats=self.stats)
+        for lit in assumptions:
+            if lit == 0 or abs(lit) > self._n_vars:
+                raise CnfError(f"invalid assumption literal {lit}")
+
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return SolverResult(status="unsat", stats=self.stats)
+
+        assumptions = list(assumptions)
+        conflict_budget = max_conflicts
+        restart_threshold = 64 * luby(self.stats.restarts + 1)
+        conflicts_at_restart = 0
+        max_learned = max(2000, 2 * len(self._clauses))
+
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.stats.conflicts += 1
+                conflicts_at_restart += 1
+                if conflict_budget is not None:
+                    conflict_budget -= 1
+                    if conflict_budget <= 0:
+                        self._backtrack(0)
+                        return SolverResult(status="unknown", stats=self.stats)
+                if self._decision_level == 0:
+                    self._unsat = True
+                    return SolverResult(status="unsat", stats=self.stats)
+                learnt, bt_level = self._analyze(confl)
+                self._backtrack(bt_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._unsat = True
+                        return SolverResult(status="unsat", stats=self.stats)
+                else:
+                    idx = self._attach(learnt, learned=True)
+                    ok = self._enqueue(learnt[0], idx)
+                    assert ok, "asserting literal must be enqueueable"
+                self._var_inc /= 0.95
+                self._cla_inc /= 0.999
+                if len(self._learned_idx) > max_learned:
+                    self._reduce_db()
+                continue
+
+            if conflicts_at_restart >= restart_threshold:
+                self.stats.restarts += 1
+                restart_threshold = 64 * luby(self.stats.restarts + 1)
+                conflicts_at_restart = 0
+                self._backtrack(0)
+                continue
+
+            # Push pending assumptions first.
+            pending = None
+            for lit in assumptions:
+                val = self._value(lit)
+                if val == _FALSE:
+                    self._backtrack(0)
+                    return SolverResult(status="unsat", stats=self.stats)
+                if val == _UNDEF:
+                    pending = lit
+                    break
+            if pending is not None:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(pending, None)
+                self.stats.decisions += 1
+                continue
+
+            var = self._pick_branch_var()
+            if var is None:
+                model = {
+                    v: self._assign[v] == _TRUE
+                    for v in range(1, self._n_vars + 1)
+                }
+                self._backtrack(0)
+                return SolverResult(status="sat", model=model, stats=self.stats)
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            lit = var if self._phase[var] else -var
+            self._enqueue(lit, None)
+
+
+def solve_cnf(
+    cnf: Cnf, assumptions: Sequence[int] = (), max_conflicts: int | None = None
+) -> SolverResult:
+    """One-shot convenience wrapper around :class:`CdclSolver`."""
+    return CdclSolver(cnf).solve(assumptions, max_conflicts)
+
+
+class IncrementalSolver:
+    """A :class:`Cnf` and a :class:`CdclSolver` kept in sync.
+
+    Callers grow ``self.cnf`` freely (new variables *and* clauses, e.g. by
+    Tseitin-encoding additional circuit copies); :meth:`solve` feeds the
+    solver everything added since the previous call, preserving learned
+    clauses and heuristic state across queries. This is the workhorse of
+    the oracle-guided SAT attack's DIP loop.
+    """
+
+    def __init__(self, cnf: Cnf | None = None) -> None:
+        self.cnf = cnf if cnf is not None else Cnf()
+        self._solver: CdclSolver | None = None
+        self._synced_clauses = 0
+
+    @property
+    def stats(self) -> SolverStats:
+        """Solver statistics (zeroed until the first solve)."""
+        return self._solver.stats if self._solver else SolverStats()
+
+    def _sync(self) -> CdclSolver:
+        if self._solver is None:
+            self._solver = CdclSolver(self.cnf)
+            self._synced_clauses = self.cnf.n_clauses
+            return self._solver
+        self._solver.ensure_vars(self.cnf.n_vars)
+        for clause in self.cnf.clauses[self._synced_clauses :]:
+            self._solver.add_clause(clause)
+        self._synced_clauses = self.cnf.n_clauses
+        return self._solver
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: int | None = None,
+    ) -> SolverResult:
+        """Sync pending formula growth, then solve under ``assumptions``."""
+        return self._sync().solve(assumptions, max_conflicts)

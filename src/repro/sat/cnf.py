@@ -1,0 +1,112 @@
+"""CNF formula container.
+
+Variables are positive integers starting at 1; a literal is ``+v`` or
+``-v`` (DIMACS convention). The container validates literals eagerly so a
+malformed clause fails at the point of construction, not deep inside a
+solver run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import CnfError
+
+
+class Cnf:
+    """A growable CNF formula.
+
+    >>> cnf = Cnf()
+    >>> a, b = cnf.new_var("a"), cnf.new_var("b")
+    >>> cnf.add_clause([a, -b])
+    >>> cnf.n_vars, cnf.n_clauses
+    (2, 1)
+    """
+
+    def __init__(self) -> None:
+        self.n_vars = 0
+        self.clauses: list[tuple[int, ...]] = []
+        #: optional debugging names, var -> name
+        self.var_names: dict[int, str] = {}
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def new_var(self, name: str | None = None) -> int:
+        """Allocate a fresh variable, optionally recording a debug name."""
+        self.n_vars += 1
+        if name is not None:
+            self.var_names[self.n_vars] = name
+        return self.n_vars
+
+    def new_vars(self, count: int, prefix: str | None = None) -> list[int]:
+        """Allocate ``count`` fresh variables."""
+        return [
+            self.new_var(f"{prefix}{i}" if prefix is not None else None)
+            for i in range(count)
+        ]
+
+    def _check_lit(self, lit: int) -> int:
+        if not isinstance(lit, (int,)) or lit == 0:
+            raise CnfError(f"invalid literal {lit!r} (0 is reserved)")
+        if abs(lit) > self.n_vars:
+            raise CnfError(
+                f"literal {lit} references unallocated variable "
+                f"(formula has {self.n_vars} vars)"
+            )
+        return int(lit)
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause; duplicate literals are collapsed, tautologies kept out.
+
+        A clause containing both ``v`` and ``-v`` is a tautology and is
+        silently dropped — it can never constrain the formula.
+        """
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            lit = self._check_lit(lit)
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            raise CnfError("empty clause added: formula is trivially UNSAT")
+        self.clauses.append(tuple(clause))
+
+    def add_clauses(self, clause_list: Iterable[Iterable[int]]) -> None:
+        """Add several clauses."""
+        for lits in clause_list:
+            self.add_clause(lits)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cnf(n_vars={self.n_vars}, n_clauses={self.n_clauses})"
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """True if ``assignment`` (var -> bool, total) satisfies the formula."""
+        for clause in self.clauses:
+            for lit in clause:
+                var = abs(lit)
+                if var not in assignment:
+                    raise CnfError(f"assignment misses variable {var}")
+                if assignment[var] == (lit > 0):
+                    break
+            else:
+                return False
+        return True
+
+    def copy(self) -> "Cnf":
+        """Independent copy (clauses are immutable tuples)."""
+        dup = Cnf()
+        dup.n_vars = self.n_vars
+        dup.clauses = list(self.clauses)
+        dup.var_names = dict(self.var_names)
+        return dup

@@ -1,0 +1,70 @@
+"""DIMACS CNF reader/writer (interchange with external SAT tooling)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import CnfError
+from repro.sat.cnf import Cnf
+
+
+def write_dimacs(cnf: Cnf, comments: list[str] | None = None) -> str:
+    """Serialise ``cnf`` in DIMACS format."""
+    lines = [f"c {c}" for c in (comments or [])]
+    lines.append(f"p cnf {cnf.n_vars} {cnf.n_clauses}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def write_dimacs_file(cnf: Cnf, path: str | Path, **kwargs) -> None:
+    """Write ``cnf`` to ``path`` in DIMACS format."""
+    Path(path).write_text(write_dimacs(cnf, **kwargs))
+
+
+def parse_dimacs(text: str) -> Cnf:
+    """Parse DIMACS text into a :class:`Cnf`.
+
+    Tolerates comments anywhere and clauses spanning multiple lines, as
+    produced by common generators.
+    """
+    cnf = Cnf()
+    declared_vars: int | None = None
+    pending: list[int] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise CnfError(f"line {line_no}: malformed problem line {line!r}")
+            try:
+                declared_vars = int(parts[2])
+            except ValueError:
+                raise CnfError(
+                    f"line {line_no}: malformed variable count {parts[2]!r}"
+                ) from None
+            cnf.n_vars = declared_vars
+            continue
+        if declared_vars is None:
+            raise CnfError(f"line {line_no}: clause before problem line")
+        for tok in line.split():
+            try:
+                lit = int(tok)
+            except ValueError:
+                raise CnfError(f"line {line_no}: invalid literal {tok!r}") from None
+            if lit == 0:
+                if pending:
+                    cnf.add_clause(pending)
+                    pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        raise CnfError("final clause not terminated by 0")
+    return cnf
+
+
+def parse_dimacs_file(path: str | Path) -> Cnf:
+    """Parse a DIMACS file."""
+    return parse_dimacs(Path(path).read_text())

@@ -1,0 +1,139 @@
+"""Functional equivalence checking between two netlists.
+
+Exhaustive for small input counts, Monte-Carlo above. This backs the core
+locking invariant (locked design + correct key ≡ original) and the
+output-corruption security metric (wrong keys should disagree often).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.patterns import exhaustive_patterns, random_patterns, unpack_bits
+from repro.sim.simulator import SimResult, simulate
+from repro.netlist.netlist import Netlist
+from repro.sim.patterns import constant_words
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an equivalence check.
+
+    ``equal`` is definitive for ``method == "exhaustive"`` and
+    probabilistic (no mismatch found) for ``method == "random"``.
+    ``counterexample`` holds an input assignment witnessing a mismatch.
+    """
+
+    equal: bool
+    method: str
+    n_patterns: int
+    counterexample: dict[str, int] | None = None
+    mismatched_output: str | None = None
+
+
+def _simulate_with_key(
+    netlist: Netlist,
+    packed: Mapping[str, np.ndarray],
+    key: Mapping[str, int] | None,
+    n_patterns: int,
+) -> SimResult:
+    words = dict(packed)
+    key = dict(key or {})
+    missing = [k for k in netlist.key_inputs if k not in key]
+    if missing:
+        raise SimulationError(f"missing key bits for {missing[:4]}")
+    for name, bit in key.items():
+        words[name] = constant_words(int(bit) & 1, n_patterns)
+    return simulate(netlist, words, n_patterns)
+
+
+def check_equivalence(
+    left: Netlist,
+    right: Netlist,
+    key_left: Mapping[str, int] | None = None,
+    key_right: Mapping[str, int] | None = None,
+    n_random: int = 4096,
+    exhaustive_limit: int = 12,
+    seed_or_rng=None,
+) -> EquivalenceResult:
+    """Check whether two designs compute the same outputs on shared inputs.
+
+    The designs must agree on primary-input and output names (order may
+    differ). Keys fix the key inputs of locked designs. With at most
+    ``exhaustive_limit`` primary inputs the check is exhaustive and hence
+    a proof; otherwise ``n_random`` random patterns are used.
+    """
+    if set(left.inputs) != set(right.inputs):
+        raise SimulationError(
+            "cannot compare designs with different primary inputs: "
+            f"{sorted(set(left.inputs) ^ set(right.inputs))[:6]}"
+        )
+    if set(left.outputs) != set(right.outputs):
+        raise SimulationError(
+            "cannot compare designs with different outputs: "
+            f"{sorted(set(left.outputs) ^ set(right.outputs))[:6]}"
+        )
+
+    pis = list(left.inputs)
+    if len(pis) <= exhaustive_limit:
+        packed, n_patterns = exhaustive_patterns(pis)
+        method = "exhaustive"
+    else:
+        packed = random_patterns(pis, n_random, seed_or_rng)
+        n_patterns = n_random
+        method = "random"
+
+    res_l = _simulate_with_key(left, packed, key_left, n_patterns)
+    res_r = _simulate_with_key(right, packed, key_right, n_patterns)
+
+    for out in left.outputs:
+        diff = res_l.words[out] ^ res_r.words[out]
+        if not diff.any():
+            continue
+        bits = unpack_bits(diff, n_patterns)
+        hit = np.nonzero(bits)[0]
+        if hit.size == 0:
+            continue  # mismatch only in padding bits
+        j = int(hit[0])
+        cex = {sig: int(unpack_bits(packed[sig], n_patterns)[j]) for sig in pis}
+        return EquivalenceResult(
+            equal=False,
+            method=method,
+            n_patterns=n_patterns,
+            counterexample=cex,
+            mismatched_output=out,
+        )
+    return EquivalenceResult(equal=True, method=method, n_patterns=n_patterns)
+
+
+def output_error_rate(
+    original: Netlist,
+    locked: Netlist,
+    key: Mapping[str, int],
+    n_patterns: int = 2048,
+    seed_or_rng=None,
+) -> float:
+    """Fraction of (pattern, output) pairs on which ``locked`` under ``key``
+    disagrees with ``original``.
+
+    0.0 means functionally identical on the sample; ~0.5 means the wrong
+    key scrambles the outputs thoroughly. This is the corruption metric
+    used in experiment E10.
+    """
+    if set(original.inputs) != set(locked.inputs):
+        raise SimulationError("designs have different primary inputs")
+    pis = list(original.inputs)
+    packed = random_patterns(pis, n_patterns, seed_or_rng)
+    res_o = _simulate_with_key(original, packed, None, n_patterns)
+    res_l = _simulate_with_key(locked, packed, key, n_patterns)
+    if not original.outputs:
+        return 0.0
+    total = 0
+    for out in original.outputs:
+        diff = res_o.words[out] ^ res_l.words[out]
+        total += int(unpack_bits(diff, n_patterns).sum())
+    return total / (n_patterns * len(original.outputs))

@@ -1,0 +1,92 @@
+"""Packing/unpacking of test patterns into 64-bit simulation words.
+
+Pattern ``j`` of a signal lives in bit ``j % 64`` of word ``j // 64``. All
+helpers below preserve that layout so simulation results can be unpacked
+back to per-pattern bit vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.utils.rng import derive_rng
+
+_WORD_BITS = 64
+_BIT_WEIGHTS = np.uint64(1) << np.arange(_WORD_BITS, dtype=np.uint64)
+
+
+def n_words_for(n_patterns: int) -> int:
+    """Number of 64-bit words needed to hold ``n_patterns`` patterns."""
+    if n_patterns <= 0:
+        raise SimulationError(f"need at least one pattern, got {n_patterns}")
+    return (n_patterns + _WORD_BITS - 1) // _WORD_BITS
+
+
+def pack_bits(bits: np.ndarray | list[int]) -> np.ndarray:
+    """Pack a 0/1 vector of length ``n`` into ``ceil(n/64)`` uint64 words."""
+    arr = np.asarray(bits, dtype=np.uint64)
+    if arr.ndim != 1:
+        raise SimulationError(f"pack_bits expects a 1-D vector, got shape {arr.shape}")
+    n_words = n_words_for(len(arr))
+    padded = np.zeros(n_words * _WORD_BITS, dtype=np.uint64)
+    padded[: len(arr)] = arr & np.uint64(1)
+    return (padded.reshape(n_words, _WORD_BITS) * _BIT_WEIGHTS).sum(
+        axis=1, dtype=np.uint64
+    )
+
+
+def unpack_bits(words: np.ndarray, n_patterns: int) -> np.ndarray:
+    """Unpack uint64 words back into a 0/1 ``uint8`` vector of ``n_patterns``."""
+    words = np.asarray(words, dtype=np.uint64)
+    bits = (words[:, None] >> np.arange(_WORD_BITS, dtype=np.uint64)) & np.uint64(1)
+    flat = bits.astype(np.uint8).reshape(-1)
+    if n_patterns > len(flat):
+        raise SimulationError(
+            f"{len(words)} words hold at most {len(flat)} patterns, "
+            f"asked for {n_patterns}"
+        )
+    return flat[:n_patterns]
+
+
+def constant_words(value: int, n_patterns: int) -> np.ndarray:
+    """Words in which every pattern bit equals ``value`` (0 or 1)."""
+    n_words = n_words_for(n_patterns)
+    fill = np.uint64(0xFFFFFFFFFFFFFFFF) if value else np.uint64(0)
+    return np.full(n_words, fill, dtype=np.uint64)
+
+
+def random_patterns(
+    signal_names: list[str], n_patterns: int, seed_or_rng=None
+) -> dict[str, np.ndarray]:
+    """Independent uniform random packed patterns for each signal."""
+    rng = derive_rng(seed_or_rng)
+    n_words = n_words_for(n_patterns)
+    # Draw full random words; bits beyond n_patterns are padding and are
+    # masked out at unpack time.
+    raw = rng.integers(0, 2**63, size=(len(signal_names), n_words), dtype=np.int64)
+    raw = raw.astype(np.uint64) ^ (
+        rng.integers(0, 2, size=(len(signal_names), n_words)).astype(np.uint64) << np.uint64(63)
+    )
+    return {name: raw[i] for i, name in enumerate(signal_names)}
+
+
+def exhaustive_patterns(signal_names: list[str]) -> tuple[dict[str, np.ndarray], int]:
+    """All ``2**k`` input combinations for ``k = len(signal_names)`` signals.
+
+    Returns ``(packed_patterns, n_patterns)``. Guarded to ``k <= 22`` so a
+    typo cannot allocate hundreds of gigabytes.
+    """
+    k = len(signal_names)
+    if k > 22:
+        raise SimulationError(
+            f"exhaustive simulation over {k} inputs would need 2**{k} patterns; "
+            "use random_patterns instead"
+        )
+    n_patterns = 1 << k
+    indices = np.arange(n_patterns, dtype=np.uint64)
+    packed = {
+        name: pack_bits((indices >> np.uint64(i)) & np.uint64(1))
+        for i, name in enumerate(signal_names)
+    }
+    return packed, n_patterns

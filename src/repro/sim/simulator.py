@@ -1,0 +1,145 @@
+"""Levelised bit-parallel netlist simulation.
+
+:func:`simulate` is the hot path: evaluate every gate once per 64-pattern
+word, in topological order. :func:`simulate_bits` is the convenience layer
+(plain 0/1 vectors in and out), and :func:`oracle_fn` packages an unlocked
+design as the black-box oracle interface the SAT attack expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.gates import GateType, evaluate_words
+from repro.netlist.netlist import Netlist
+from repro.sim.patterns import (
+    constant_words,
+    n_words_for,
+    pack_bits,
+    unpack_bits,
+)
+
+
+@dataclass
+class SimResult:
+    """Simulation outcome: packed words for every signal.
+
+    ``words[signal]`` is a uint64 array of ``ceil(n_patterns / 64)`` words;
+    use :meth:`bits` to recover per-pattern values.
+    """
+
+    netlist: Netlist
+    n_patterns: int
+    words: dict[str, np.ndarray]
+
+    def bits(self, signal: str) -> np.ndarray:
+        """Per-pattern 0/1 values of ``signal`` (uint8 vector)."""
+        if signal not in self.words:
+            raise SimulationError(f"no simulated value for signal {signal!r}")
+        return unpack_bits(self.words[signal], self.n_patterns)
+
+    def output_matrix(self) -> np.ndarray:
+        """Primary outputs as a ``(n_patterns, n_outputs)`` uint8 matrix."""
+        if not self.netlist.outputs:
+            return np.zeros((self.n_patterns, 0), dtype=np.uint8)
+        cols = [self.bits(o) for o in self.netlist.outputs]
+        return np.stack(cols, axis=1)
+
+
+def simulate(
+    netlist: Netlist,
+    packed_inputs: Mapping[str, np.ndarray],
+    n_patterns: int,
+) -> SimResult:
+    """Simulate ``netlist`` on pre-packed input words.
+
+    ``packed_inputs`` must assign a word array of the right length to every
+    primary input *and* key input. Returns packed values for all signals.
+    """
+    n_words = n_words_for(n_patterns)
+    words: dict[str, np.ndarray] = {}
+    for sig in netlist.all_inputs:
+        if sig not in packed_inputs:
+            raise SimulationError(f"missing value for input {sig!r}")
+        arr = np.asarray(packed_inputs[sig], dtype=np.uint64)
+        if arr.shape != (n_words,):
+            raise SimulationError(
+                f"input {sig!r}: expected {n_words} words, got shape {arr.shape}"
+            )
+        words[sig] = arr
+
+    for name in netlist.topological_order():
+        gate = netlist.gates[name]
+        if gate.gtype is GateType.CONST0:
+            words[name] = constant_words(0, n_patterns)
+        elif gate.gtype is GateType.CONST1:
+            words[name] = constant_words(1, n_patterns)
+        else:
+            words[name] = evaluate_words(
+                gate.gtype, [words[src] for src in gate.fanins]
+            )
+    return SimResult(netlist=netlist, n_patterns=n_patterns, words=words)
+
+
+def _broadcast_key(key: Mapping[str, int], n_patterns: int) -> dict[str, np.ndarray]:
+    return {
+        name: constant_words(int(bit) & 1, n_patterns) for name, bit in key.items()
+    }
+
+
+def simulate_bits(
+    netlist: Netlist,
+    input_bits: Mapping[str, np.ndarray | list[int]],
+    key: Mapping[str, int] | None = None,
+) -> SimResult:
+    """Simulate from per-pattern 0/1 vectors (packing handled internally).
+
+    ``input_bits`` covers the primary inputs; ``key`` (if the design is
+    locked) assigns a constant 0/1 per key input, broadcast to every
+    pattern — the usual "apply one key, sweep data inputs" workload.
+    """
+    if not netlist.inputs:
+        raise SimulationError("netlist has no primary inputs")
+    lengths = {len(np.asarray(v)) for v in input_bits.values()}
+    if len(lengths) != 1:
+        raise SimulationError(f"input vectors have differing lengths: {lengths}")
+    n_patterns = lengths.pop()
+
+    packed: dict[str, np.ndarray] = {
+        sig: pack_bits(np.asarray(vec)) for sig, vec in input_bits.items()
+    }
+    key = dict(key or {})
+    missing_keys = [k for k in netlist.key_inputs if k not in key]
+    if missing_keys:
+        raise SimulationError(
+            f"locked netlist requires key bits for {missing_keys[:4]}"
+            + ("..." if len(missing_keys) > 4 else "")
+        )
+    extra = [k for k in key if k not in netlist.key_inputs]
+    if extra:
+        raise SimulationError(f"key assigns unknown key inputs {extra[:4]}")
+    packed.update(_broadcast_key(key, n_patterns))
+    return simulate(netlist, packed, n_patterns)
+
+
+def oracle_fn(netlist: Netlist) -> Callable[[dict[str, int]], dict[str, int]]:
+    """Wrap an (unlocked) netlist as a single-pattern black-box oracle.
+
+    The returned callable maps ``{input: bit}`` to ``{output: bit}`` — the
+    interface an activated chip presents to the oracle-guided SAT attack.
+    """
+    if netlist.key_inputs:
+        raise SimulationError(
+            "oracle must be an activated (unlocked) design without key inputs"
+        )
+
+    def oracle(assignment: dict[str, int]) -> dict[str, int]:
+        vectors = {sig: np.array([assignment[sig] & 1]) for sig in netlist.inputs}
+        result = simulate_bits(netlist, vectors)
+        return {o: int(result.bits(o)[0]) for o in netlist.outputs}
+
+    return oracle

@@ -1,0 +1,6 @@
+"""Shared utilities: seeded randomness, timers, lightweight logging."""
+
+from repro.utils.rng import derive_rng, spawn_seeds
+from repro.utils.timing import Stopwatch
+
+__all__ = ["derive_rng", "spawn_seeds", "Stopwatch"]

@@ -1,0 +1,38 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library (locking site selection, GA
+operators, attack training) takes either an integer seed or a
+``numpy.random.Generator``. These helpers make deriving independent child
+streams explicit and reproducible, which the experiment harness relies on:
+the same (circuit, seed) pair must always produce the same locked netlist
+and the same attack verdict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def derive_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``Generator`` for ``seed_or_rng``.
+
+    Accepts an integer seed, an existing generator (returned unchanged so
+    streams can be threaded through call chains), or ``None`` for an
+    OS-seeded generator.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_seeds(rng: np.random.Generator, count: int) -> list[int]:
+    """Draw ``count`` independent 63-bit child seeds from ``rng``.
+
+    Used when a component needs to hand reproducible seeds to parallel or
+    order-independent sub-tasks (e.g. one seed per GA individual).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [int(s) for s in rng.integers(0, 2**63 - 1, size=count)]

@@ -1,0 +1,34 @@
+"""Tiny wall-clock stopwatch used by the benchmark harness and CLI."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> sw = Stopwatch()
+    >>> sw.lap("lock")  # doctest: +SKIP
+    >>> sw.laps  # doctest: +SKIP
+    {'lock': 0.0123}
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._last = self._start
+        self.laps: dict[str, float] = {}
+
+    def lap(self, name: str) -> float:
+        """Record time since the previous lap (or construction) under ``name``."""
+        now = time.perf_counter()
+        elapsed = now - self._last
+        self._last = now
+        # Accumulate so repeated laps with the same name sum up.
+        self.laps[name] = self.laps.get(name, 0.0) + elapsed
+        return elapsed
+
+    @property
+    def total(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start

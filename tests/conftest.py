@@ -1,0 +1,64 @@
+"""Shared fixtures: canonical circuits and locked designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.locking import DMuxLocking, RandomLogicLocking
+from repro.netlist import GateType, Netlist, parse_bench
+
+C17_BENCH = """
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+@pytest.fixture
+def c17() -> Netlist:
+    """The genuine ISCAS-85 c17 netlist."""
+    return parse_bench(C17_BENCH, "c17")
+
+
+@pytest.fixture
+def tiny() -> Netlist:
+    """A 4-gate netlist exercising every common gate class."""
+    n = Netlist("tiny")
+    for name in ("a", "b", "c"):
+        n.add_input(name)
+    n.add_gate("g_and", GateType.AND, ["a", "b"])
+    n.add_gate("g_xor", GateType.XOR, ["g_and", "c"])
+    n.add_gate("g_not", GateType.NOT, ["g_xor"])
+    n.add_gate("g_or", GateType.OR, ["g_not", "a"])
+    n.add_output("g_or")
+    n.add_output("g_xor")
+    return n
+
+
+@pytest.fixture
+def rand100() -> Netlist:
+    """A deterministic 100-gate random circuit (registry-parametric)."""
+    return load_circuit("rand_100_7")
+
+
+@pytest.fixture
+def rll_locked(rand100):
+    """rand100 locked with 8-bit XOR/XNOR RLL."""
+    return RandomLogicLocking().lock(rand100, 8, seed_or_rng=21)
+
+
+@pytest.fixture
+def dmux_locked(rand100):
+    """rand100 locked with 8-bit shared-key D-MUX."""
+    return DMuxLocking("shared").lock(rand100, 8, seed_or_rng=21)

@@ -1,0 +1,194 @@
+"""Genotype handling and evolutionary operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec.genotype import (
+    genotype_is_valid,
+    genotype_key,
+    random_genotype,
+    repair_genotype,
+)
+from repro.ec.operators import (
+    CROSSOVERS,
+    MUTATIONS,
+    SELECTIONS,
+    MutationConfig,
+    crossover_one_point,
+    crossover_two_point,
+    crossover_uniform,
+    mutate,
+    select_rank,
+    select_roulette,
+    select_tournament,
+)
+from repro.errors import EvolutionError
+from repro.locking import lock_with_genes
+from repro.locking.dmux import MuxGene
+from repro.sim import check_equivalence
+
+
+# ----------------------------------------------------------------- genotype
+def test_random_genotype_valid(rand100):
+    genes = random_genotype(rand100, 8, seed_or_rng=1)
+    assert len(genes) == 8
+    assert genotype_is_valid(rand100, genes)
+    # Distinct wires across genes.
+    wires = [w for g in genes for w in g.wires]
+    assert len(wires) == len(set(wires))
+
+
+def test_random_genotype_deterministic(rand100):
+    a = random_genotype(rand100, 6, seed_or_rng=3)
+    b = random_genotype(rand100, 6, seed_or_rng=3)
+    assert genotype_key(a) == genotype_key(b)
+
+
+def test_random_genotype_guards(rand100, tiny):
+    with pytest.raises(EvolutionError):
+        random_genotype(rand100, 0, seed_or_rng=1)
+    with pytest.raises(EvolutionError):
+        random_genotype(tiny, 50, seed_or_rng=1)
+
+
+def test_repair_fixes_duplicates(rand100):
+    genes = random_genotype(rand100, 6, seed_or_rng=2)
+    broken = genes[:5] + [genes[0]]  # duplicate wire usage
+    assert not genotype_is_valid(rand100, broken)
+    repaired = repair_genotype(rand100, broken, seed_or_rng=3)
+    assert len(repaired) == 6
+    assert genotype_is_valid(rand100, repaired)
+    # Valid prefix preserved verbatim.
+    assert genotype_key(repaired[:5]) == genotype_key(genes[:5])
+
+
+def test_repair_fixes_stale_genes(rand100):
+    genes = random_genotype(rand100, 4, seed_or_rng=4)
+    broken = genes[:3] + [MuxGene("ghost1", "ghost2", "ghost3", "ghost4", 0)]
+    repaired = repair_genotype(rand100, broken, seed_or_rng=5)
+    assert genotype_is_valid(rand100, repaired)
+
+
+def test_repaired_genotype_builds_equivalent_circuit(rand100):
+    genes = random_genotype(rand100, 6, seed_or_rng=6)
+    locked = lock_with_genes(rand100, genes)
+    res = check_equivalence(
+        rand100, locked.netlist, key_right=dict(locked.key), seed_or_rng=1
+    )
+    assert res.equal
+
+
+# ---------------------------------------------------------------- selection
+@pytest.mark.parametrize("select", [select_tournament, select_roulette, select_rank],
+                         ids=["tournament", "roulette", "rank"])
+def test_selection_prefers_fitter(select):
+    fits = [0.9, 0.1, 0.8, 0.7]  # index 1 is best (minimisation)
+    rng = np.random.default_rng(0)
+    picks = [select(fits, rng) for _ in range(2000)]
+    counts = np.bincount(picks, minlength=4)
+    assert counts[1] == max(counts), f"best individual under-selected: {counts}"
+    assert counts[1] > counts[0], "best must beat worst decisively"
+    assert all(0 <= p < 4 for p in picks)
+
+
+@pytest.mark.parametrize("select", [select_tournament, select_roulette, select_rank])
+def test_selection_empty_population(select):
+    with pytest.raises(EvolutionError):
+        select([], 0)
+
+
+# ---------------------------------------------------------------- crossover
+@pytest.mark.parametrize("cross", [crossover_one_point, crossover_two_point,
+                                   crossover_uniform],
+                         ids=["one_point", "two_point", "uniform"])
+def test_crossover_preserves_genes(cross, rand100):
+    a = random_genotype(rand100, 8, seed_or_rng=1)
+    b = random_genotype(rand100, 8, seed_or_rng=2)
+    ca, cb = cross(a, b, 3)
+    assert len(ca) == len(cb) == 8
+    pool = {genotype_key([g]) for g in a + b}
+    for child in (ca, cb):
+        for gene in child:
+            assert genotype_key([gene]) in pool, "crossover invented a gene"
+    # Multiset union preserved: every parental gene ends up in some child.
+    combined = sorted(genotype_key(ca) + genotype_key(cb))
+    assert combined == sorted(genotype_key(a) + genotype_key(b))
+
+
+def test_crossover_length_mismatch(rand100):
+    a = random_genotype(rand100, 4, seed_or_rng=1)
+    b = random_genotype(rand100, 5, seed_or_rng=2)
+    with pytest.raises(EvolutionError):
+        crossover_one_point(a, b, 0)
+
+
+def test_crossover_single_gene(rand100):
+    a = random_genotype(rand100, 1, seed_or_rng=1)
+    b = random_genotype(rand100, 1, seed_or_rng=2)
+    ca, cb = crossover_one_point(a, b, 0)
+    assert (ca, cb) == (a, b)
+
+
+# ----------------------------------------------------------------- mutation
+def test_mutation_config_validation():
+    with pytest.raises(EvolutionError):
+        MutationConfig(flip_key=1.5)
+
+
+def test_flip_key_only_changes_bits(rand100):
+    genes = random_genotype(rand100, 10, seed_or_rng=7)
+    config = MutationConfig(flip_key=1.0, relocate=0.0, reroute_partner=0.0)
+    mutated = mutate(rand100, genes, config, seed_or_rng=8)
+    assert len(mutated) == 10
+    for old, new in zip(genes, mutated):
+        assert (old.f_i, old.g_i, old.f_j, old.g_j) == (
+            new.f_i, new.g_i, new.f_j, new.g_j)
+        assert new.k == old.k ^ 1
+
+
+def test_relocate_produces_valid_genotype(rand100):
+    genes = random_genotype(rand100, 8, seed_or_rng=9)
+    config = MutationConfig(flip_key=0.0, relocate=1.0, reroute_partner=0.0)
+    mutated = mutate(rand100, genes, config, seed_or_rng=10)
+    repaired = repair_genotype(rand100, mutated, seed_or_rng=11)
+    assert genotype_is_valid(rand100, repaired)
+    changed = sum(
+        genotype_key([o]) != genotype_key([n]) for o, n in zip(genes, mutated)
+    )
+    assert changed >= 6, "relocate=1.0 should move nearly every gene"
+
+
+def test_reroute_keeps_first_wire(rand100):
+    genes = random_genotype(rand100, 8, seed_or_rng=12)
+    config = MutationConfig(flip_key=0.0, relocate=0.0, reroute_partner=1.0)
+    mutated = mutate(rand100, genes, config, seed_or_rng=13)
+    for old, new in zip(genes, mutated):
+        assert (old.f_i, old.g_i) == (new.f_i, new.g_i), "true wire must persist"
+
+
+def test_zero_probability_mutation_is_identity(rand100):
+    genes = random_genotype(rand100, 8, seed_or_rng=14)
+    config = MutationConfig(flip_key=0.0, relocate=0.0, reroute_partner=0.0)
+    assert genotype_key(mutate(rand100, genes, config, 15)) == genotype_key(genes)
+
+
+def test_registries_complete():
+    assert set(SELECTIONS) == {"tournament", "roulette", "rank"}
+    assert set(CROSSOVERS) == {"one_point", "two_point", "uniform"}
+    assert "default" in MUTATIONS and "reroute_heavy" in MUTATIONS
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_mutate_then_repair_always_valid(seed):
+    """Any mutation followed by repair yields an applicable genotype."""
+    from repro.circuits import load_circuit
+
+    circuit = load_circuit("rand_80_17")
+    rng = np.random.default_rng(seed)
+    genes = random_genotype(circuit, 6, rng)
+    mutated = mutate(circuit, genes, MutationConfig(0.3, 0.3, 0.3), rng)
+    repaired = repair_genotype(circuit, mutated, rng)
+    assert genotype_is_valid(circuit, repaired)
+    assert len(repaired) == 6

@@ -1,0 +1,105 @@
+"""Design serialisation and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import LockingError
+from repro.io import load_locked_design, save_locked_design
+from repro.locking import DMuxLocking, RandomLogicLocking
+from repro.sim import check_equivalence
+
+
+# --------------------------------------------------------------------- io
+@pytest.mark.parametrize("scheme_factory", [
+    lambda: RandomLogicLocking(),
+    lambda: DMuxLocking("shared"),
+    lambda: DMuxLocking("two_key"),
+], ids=["rll", "dmux-shared", "dmux-two_key"])
+def test_save_load_roundtrip(tmp_path, rand100, scheme_factory):
+    locked = scheme_factory().lock(rand100, 8, seed_or_rng=3)
+    sidecar = save_locked_design(locked, tmp_path)
+    assert sidecar.exists()
+    again = load_locked_design(sidecar)
+    assert again.netlist.structurally_equal(locked.netlist)
+    assert again.original.structurally_equal(locked.original)
+    assert again.key == locked.key
+    assert again.scheme == locked.scheme
+    assert len(again.insertions) == len(locked.insertions)
+    assert again.insertions == locked.insertions
+    res = check_equivalence(
+        again.original, again.netlist, key_right=dict(again.key), seed_or_rng=0
+    )
+    assert res.equal
+
+
+def test_sidecar_is_readable_json(tmp_path, dmux_locked):
+    sidecar = save_locked_design(dmux_locked, tmp_path)
+    data = json.loads(sidecar.read_text())
+    assert data["scheme"] == "dmux-shared"
+    assert len(data["key_bits"]) == 8
+    assert all(rec["type"] == "mux_pair" for rec in data["insertions"])
+
+
+def test_load_rejects_unknown_insertion(tmp_path, dmux_locked):
+    sidecar = save_locked_design(dmux_locked, tmp_path)
+    data = json.loads(sidecar.read_text())
+    data["insertions"][0]["type"] = "alien"
+    sidecar.write_text(json.dumps(data))
+    with pytest.raises(LockingError, match="unknown insertion"):
+        load_locked_design(sidecar)
+
+
+# -------------------------------------------------------------------- cli
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_cli_info(capsys):
+    assert main(["info", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "c17" in out and "gates=6" in out
+
+
+def test_cli_info_all(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "c432_syn" in out and "c7552_syn" in out
+
+
+def test_cli_lock_and_attack(tmp_path, capsys):
+    assert main([
+        "lock", "rand_80_3", "--scheme", "dmux", "--key-length", "6",
+        "--seed", "5", "--output", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "saved:" in out
+    sidecar = next(tmp_path.glob("*.lock.json"))
+
+    assert main([
+        "attack", str(sidecar), "--attack", "muxlink",
+        "--predictor", "bayes", "--seed", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "muxlink-bayes" in out
+
+    assert main(["attack", str(sidecar), "--attack", "scope"]) == 0
+    assert main(["attack", str(sidecar), "--attack", "random"]) == 0
+    assert main(["attack", str(sidecar), "--attack", "sat"]) == 0
+    out = capsys.readouterr().out
+    assert "n_dips" in out
+
+
+def test_cli_evolve(tmp_path, capsys):
+    assert main([
+        "evolve", "rand_100_9", "--key-length", "4", "--population", "4",
+        "--generations", "2", "--predictor", "bayes", "--seed", "2",
+        "--output", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "AutoLock on rand_100_9" in out
+    assert "gen   0" in out or "gen 0" in out.replace("  ", " ")
+    assert list(tmp_path.glob("*.lock.json"))

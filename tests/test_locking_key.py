@@ -1,0 +1,54 @@
+"""Key container semantics."""
+
+import pytest
+
+from repro.errors import LockingError
+from repro.locking import Key
+
+
+def test_mapping_protocol():
+    key = Key(("k0", "k1", "k2"), (1, 0, 1))
+    assert key["k0"] == 1 and key["k1"] == 0
+    assert list(key) == ["k0", "k1", "k2"]
+    assert len(key) == 3
+    assert dict(key) == {"k0": 1, "k1": 0, "k2": 1}
+    with pytest.raises(KeyError):
+        key["ghost"]
+
+
+def test_validation():
+    with pytest.raises(LockingError):
+        Key(("a", "b"), (1,))
+    with pytest.raises(LockingError):
+        Key(("a", "a"), (1, 0))
+    with pytest.raises(LockingError):
+        Key(("a",), (2,))
+
+
+def test_random_key_determinism():
+    a = Key.random(16, seed_or_rng=5)
+    b = Key.random(16, seed_or_rng=5)
+    assert a == b
+    assert a.names == tuple(f"keyinput{i}" for i in range(16))
+    c = Key.random(16, seed_or_rng=6)
+    assert a != c
+
+
+def test_from_bits_and_mapping():
+    key = Key.from_bits([1, 0, 1])
+    assert key.bitstring == "101"
+    again = Key.from_mapping(dict(key))
+    assert again == key
+
+
+def test_hamming_and_flip():
+    a = Key.from_bits([0, 0, 1, 1])
+    b = Key.from_bits([1, 0, 1, 0])
+    assert a.hamming_distance(b) == 2
+    assert a.hamming_distance(a) == 0
+    flipped = a.flipped(0)
+    assert flipped.bits == (1, 0, 1, 1)
+    assert a.hamming_distance(flipped) == 1
+    other = Key(("x0", "x1"), (0, 1))
+    with pytest.raises(LockingError):
+        a.hamming_distance(other)

@@ -1,0 +1,94 @@
+"""Security scoring, overhead proxies, corruption reports."""
+
+import pytest
+
+from repro.errors import AttackError
+from repro.locking import DMuxLocking, RandomLogicLocking
+from repro.metrics import (
+    KpaScore,
+    corruption_report,
+    overhead_report,
+    score_guesses,
+)
+from repro.metrics.overhead import area_estimate, switching_activity
+
+
+# --------------------------------------------------------------- security
+def test_kpa_score_accuracy_convention():
+    score = KpaScore(n_bits=10, n_decided=8, n_correct=6)
+    # 6 correct + 2 undecided * 0.5 = 7 -> 0.7
+    assert score.accuracy == pytest.approx(0.7)
+    assert score.precision == pytest.approx(0.75)
+    assert score.coverage == pytest.approx(0.8)
+
+
+def test_kpa_degenerate_cases():
+    empty = KpaScore(0, 0, 0)
+    assert empty.accuracy == 0.5
+    assert empty.precision == 1.0
+    assert empty.coverage == 0.0
+    undecided = KpaScore(4, 0, 0)
+    assert undecided.accuracy == 0.5
+    assert "bits=4" in undecided.as_row()
+
+
+def test_score_guesses():
+    truth = {"k0": 1, "k1": 0, "k2": 1}
+    guesses = {"k0": 1, "k1": 1, "k2": None}
+    score = score_guesses(guesses, truth)
+    assert score.n_bits == 3 and score.n_decided == 2 and score.n_correct == 1
+    assert score.accuracy == pytest.approx((1 + 0.5) / 3)
+
+
+def test_score_guesses_validation():
+    with pytest.raises(AttackError, match="missing"):
+        score_guesses({}, {"k0": 1})
+    with pytest.raises(AttackError, match="unknown"):
+        score_guesses({"k0": 1, "kx": 0}, {"k0": 1})
+    with pytest.raises(AttackError, match="0/1/None"):
+        score_guesses({"k0": 7}, {"k0": 1})
+
+
+# --------------------------------------------------------------- overhead
+def test_area_estimate_positive(c17):
+    assert area_estimate(c17) == pytest.approx(6.0)  # 6 NAND2 = 6 units
+
+
+def test_switching_activity_range(c17):
+    act = switching_activity(c17, n_patterns=512, seed_or_rng=0)
+    assert 0.0 <= act <= 0.5
+
+
+def test_overhead_report(rand100, dmux_locked):
+    report = overhead_report(
+        rand100,
+        dmux_locked.netlist,
+        dmux_locked.key,
+        scheme=dmux_locked.scheme,
+        n_patterns=256,
+        seed_or_rng=0,
+    )
+    assert report.gate_overhead > 0
+    assert report.area_overhead > 0
+    assert report.key_length == 8
+    assert "dmux" in report.as_row()
+
+
+def test_overhead_ordering(rand100):
+    """Shared D-MUX (2 MUX/bit) must cost more area than RLL (1 XOR/bit)."""
+    rll = RandomLogicLocking().lock(rand100, 8, seed_or_rng=3)
+    dmux = DMuxLocking("shared").lock(rand100, 8, seed_or_rng=3)
+    rep_rll = overhead_report(rand100, rll.netlist, rll.key, "rll", 256, 0)
+    rep_dmux = overhead_report(rand100, dmux.netlist, dmux.key, "dmux", 256, 0)
+    assert rep_dmux.area_overhead > rep_rll.area_overhead
+
+
+# -------------------------------------------------------------- corruption
+def test_corruption_report(dmux_locked):
+    report = corruption_report(
+        dmux_locked, n_wrong_keys=4, n_patterns=256, seed_or_rng=0
+    )
+    assert report.correct_key_error == 0.0
+    assert report.mean_random_wrong_error > 0.0
+    assert report.worst_single_flip_error >= report.mean_single_flip_error
+    assert "dmux" in report.as_row()

@@ -1,0 +1,130 @@
+"""Utilities, report formatting, solver stress, and cross-scheme paths."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import MuxLinkAttack, SatAttack
+from repro.circuits import load_circuit
+from repro.locking import DMuxLocking
+from repro.sat import CdclSolver, Cnf
+from repro.utils import Stopwatch, derive_rng, spawn_seeds
+
+
+# ------------------------------------------------------------------- utils
+def test_derive_rng_passthrough():
+    rng = np.random.default_rng(1)
+    assert derive_rng(rng) is rng
+    a = derive_rng(5).integers(0, 100, size=4)
+    b = derive_rng(5).integers(0, 100, size=4)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_seeds_independent():
+    rng = np.random.default_rng(2)
+    seeds = spawn_seeds(rng, 8)
+    assert len(seeds) == len(set(seeds)) == 8
+    assert all(isinstance(s, int) and 0 <= s < 2**63 for s in seeds)
+    with pytest.raises(ValueError):
+        spawn_seeds(rng, -1)
+    assert spawn_seeds(rng, 0) == []
+
+
+def test_stopwatch_accumulates():
+    sw = Stopwatch()
+    sw.lap("a")
+    sw.lap("a")
+    sw.lap("b")
+    assert set(sw.laps) == {"a", "b"}
+    assert sw.laps["a"] >= 0.0
+    assert sw.total >= sw.laps["a"]
+
+
+# --------------------------------------------------------------- reporting
+def test_attack_report_row_format(dmux_locked):
+    report = MuxLinkAttack(predictor="bayes").run(dmux_locked, seed_or_rng=0)
+    row = report.as_row()
+    for fragment in ("muxlink-bayes", "dmux-shared", "K=8", "acc=", "prec="):
+        assert fragment in row
+    assert report.extra["predictor"] == "bayes"
+    assert report.extra["ensemble"] == 1
+    assert len(report.extra["margins"]) == 8
+    assert len(report.extra["site_scores"]) == 16
+
+
+# -------------------------------------------------------- two_key coverage
+def test_muxlink_on_two_key_dmux(rand100):
+    """Two-key D-MUX: every MUX votes on its own key bit."""
+    locked = DMuxLocking("two_key").lock(rand100, 8, seed_or_rng=3)
+    report = MuxLinkAttack(predictor="bayes").run(locked, seed_or_rng=1)
+    assert report.extra["n_sites"] == 8
+    assert set(report.guesses) == set(locked.netlist.key_inputs)
+
+
+def test_sat_attack_on_two_key_dmux(rand100):
+    locked = DMuxLocking("two_key").lock(rand100, 8, seed_or_rng=3)
+    report = SatAttack().run(locked, seed_or_rng=0)
+    assert report.extra["status"] == "completed"
+    assert report.extra["functional_equivalent"]
+
+
+# ----------------------------------------------------------- solver stress
+def test_cdcl_survives_hard_random_3sat():
+    """Near the 3-SAT phase transition (ratio ~4.3) with enough volume to
+    trigger restarts and learned-clause bookkeeping."""
+    rng = np.random.default_rng(9)
+    n_vars, n_clauses = 60, 258
+    cnf = Cnf()
+    cnf.new_vars(n_vars)
+    for _ in range(n_clauses):
+        lits = []
+        for var in rng.choice(n_vars, size=3, replace=False):
+            lits.append(int(var + 1) * (1 if rng.random() < 0.5 else -1))
+        cnf.add_clause(lits)
+    solver = CdclSolver(cnf)
+    result = solver.solve()
+    assert result.status in ("sat", "unsat")
+    if result.is_sat:
+        assert cnf.evaluate(result.model)
+    assert solver.stats.conflicts > 0
+
+
+def test_cdcl_learned_clause_reduction_does_not_break_correctness():
+    """Force many conflicts so _reduce_db runs, then cross-check models."""
+    rng = np.random.default_rng(10)
+    for trial in range(3):
+        cnf = Cnf()
+        n_vars = 40
+        cnf.new_vars(n_vars)
+        for _ in range(170):
+            lits = [
+                int(v + 1) * (1 if rng.random() < 0.5 else -1)
+                for v in rng.choice(n_vars, size=3, replace=False)
+            ]
+            cnf.add_clause(lits)
+        result = CdclSolver(cnf).solve()
+        if result.is_sat:
+            assert cnf.evaluate(result.model), f"trial {trial}: bad model"
+
+
+# --------------------------------------------------- stacked locking paths
+def test_dmux_on_top_of_rll(rand100):
+    """Compound locking: RLL first, then D-MUX on the locked result."""
+    from repro.locking import RandomLogicLocking
+    from repro.sim import check_equivalence
+
+    rll = RandomLogicLocking().lock(rand100, 4, seed_or_rng=1)
+    # Treat the RLL-locked netlist as the new "original".
+    stacked = DMuxLocking("shared", key_prefix="mkey").lock(
+        rll.netlist, 4, seed_or_rng=2
+    )
+    combined_key = dict(stacked.key)
+    combined_key.update(dict(rll.key))
+    res = check_equivalence(
+        rand100,
+        stacked.netlist,
+        key_right=combined_key,
+        n_random=512,
+        seed_or_rng=3,
+    )
+    assert res.equal, "stacked RLL+D-MUX must still unlock with both keys"
+    assert len(stacked.netlist.key_inputs) == 8

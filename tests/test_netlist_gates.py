@@ -1,0 +1,99 @@
+"""Gate semantics and arity rules."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.gates import (
+    Gate,
+    GateType,
+    arity_bounds,
+    check_arity,
+    evaluate_bits,
+    evaluate_words,
+)
+
+_TRUTH_2IN = {
+    GateType.AND: lambda a, b: a & b,
+    GateType.NAND: lambda a, b: 1 - (a & b),
+    GateType.OR: lambda a, b: a | b,
+    GateType.NOR: lambda a, b: 1 - (a | b),
+    GateType.XOR: lambda a, b: a ^ b,
+    GateType.XNOR: lambda a, b: 1 - (a ^ b),
+}
+
+
+@pytest.mark.parametrize("gtype", sorted(_TRUTH_2IN, key=lambda t: t.value))
+def test_two_input_truth_tables(gtype):
+    ref = _TRUTH_2IN[gtype]
+    for a, b in itertools.product([0, 1], repeat=2):
+        assert evaluate_bits(gtype, [a, b]) == ref(a, b), (gtype, a, b)
+
+
+def test_not_buf_truth_tables():
+    assert evaluate_bits(GateType.NOT, [0]) == 1
+    assert evaluate_bits(GateType.NOT, [1]) == 0
+    assert evaluate_bits(GateType.BUF, [0]) == 0
+    assert evaluate_bits(GateType.BUF, [1]) == 1
+
+
+def test_mux_truth_table():
+    for s, d0, d1 in itertools.product([0, 1], repeat=3):
+        expected = d0 if s == 0 else d1
+        assert evaluate_bits(GateType.MUX, [s, d0, d1]) == expected
+
+
+def test_constants():
+    assert evaluate_bits(GateType.CONST0, []) == 0
+    assert evaluate_bits(GateType.CONST1, []) == 1
+
+
+@pytest.mark.parametrize("gtype", [GateType.AND, GateType.OR, GateType.XOR])
+def test_nary_reduction(gtype):
+    # Three-input gates reduce pairwise left to right.
+    for bits in itertools.product([0, 1], repeat=3):
+        two = evaluate_bits(gtype, [evaluate_bits(gtype, list(bits[:2])), bits[2]])
+        assert evaluate_bits(gtype, list(bits)) == two
+
+
+def test_evaluate_words_matches_bits():
+    rng = np.random.default_rng(1)
+    words = [rng.integers(0, 2**63, size=2).astype(np.uint64) for _ in range(2)]
+    out = evaluate_words(GateType.NAND, words)
+    assert out.dtype == np.uint64
+    assert np.array_equal(out, ~(words[0] & words[1]))
+
+
+def test_arity_bounds_and_check():
+    assert arity_bounds(GateType.MUX) == (3, 3)
+    assert arity_bounds(GateType.NOT) == (1, 1)
+    lo, hi = arity_bounds(GateType.AND)
+    assert lo == 2 and hi is None
+    with pytest.raises(NetlistError):
+        check_arity(GateType.NOT, 2)
+    with pytest.raises(NetlistError):
+        check_arity(GateType.AND, 1)
+    with pytest.raises(NetlistError):
+        check_arity(GateType.MUX, 2)
+
+
+def test_gate_dataclass_validation():
+    with pytest.raises(NetlistError):
+        Gate("g", GateType.MUX, ("a", "b"))
+    gate = Gate("g", GateType.AND, ("a", "b"))
+    rewired = gate.with_fanin(1, "c")
+    assert rewired.fanins == ("a", "c")
+    assert gate.fanins == ("a", "b"), "original gate must stay immutable"
+    with pytest.raises(NetlistError):
+        gate.with_fanin(5, "c")
+
+
+def test_gate_str():
+    assert str(Gate("g", GateType.AND, ("a", "b"))) == "g = AND(a, b)"
+
+
+def test_evaluate_words_rejects_constants():
+    with pytest.raises(NetlistError):
+        evaluate_words(GateType.CONST0, [])
