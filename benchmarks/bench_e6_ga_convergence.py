@@ -3,7 +3,13 @@
 §II describes the generational loop (selection, crossover, mutation)
 refining the population "until a set number of iterations or desired
 fitness is achieved". This bench traces best/mean fitness per generation
-— the convergence curve implicit in Fig. 1 z.
+— the convergence curve implicit in Fig. 1 z — and, since the population
+evaluator records cache hits and wall time per generation, the effective
+evaluation throughput of the hot path.
+
+``REPRO_BENCH_WORKERS`` (default 0 = serial) opts the fitness loop into
+the process-pool evaluator; results are identical by construction, only
+the throughput changes.
 
 Shape expectation: best fitness is non-increasing (elitism) and the
 population mean improves substantially from generation 0 to the end.
@@ -11,10 +17,18 @@ population mean improves substantially from generation 0 to the end.
 
 from __future__ import annotations
 
+import os
+
 from conftest import print_header, scaled
 
 from repro.circuits import load_circuit
-from repro.ec import GaConfig, GeneticAlgorithm, MuxLinkFitness
+from repro.ec import (
+    GaConfig,
+    GeneticAlgorithm,
+    MuxLinkFitness,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+)
 
 
 def run_convergence():
@@ -27,7 +41,14 @@ def run_convergence():
         elitism=2,
         seed=3,
     )
-    result = GeneticAlgorithm(config).run(circuit, fitness)
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+    evaluator = ProcessPoolEvaluator(workers) if workers >= 2 else SerialEvaluator()
+    try:
+        result = GeneticAlgorithm(config).run(
+            circuit, fitness, evaluator=evaluator
+        )
+    finally:
+        evaluator.close()
     return result, fitness
 
 
@@ -38,15 +59,21 @@ def test_e6_ga_convergence(benchmark):
         "GA convergence: fitness (MuxLink accuracy) per generation",
         "§II GA loop / Fig. 1 z",
     )
-    print(f"{'gen':>4} {'best':>7} {'mean':>7} {'std':>7}   fitness curve (lower = better)")
+    print(f"{'gen':>4} {'best':>7} {'mean':>7} {'std':>7} {'evals':>6} "
+          f"{'hits':>5} {'ev/s':>6}   fitness curve (lower = better)")
     lo = min(s.best for s in result.history)
     hi = max(s.mean for s in result.history)
     span = max(hi - lo, 1e-9)
     for s in result.history:
         pos = int(40 * (s.mean - lo) / span)
-        print(f"{s.generation:>4} {s.best:>7.3f} {s.mean:>7.3f} {s.std:>7.3f}   "
+        print(f"{s.generation:>4} {s.best:>7.3f} {s.mean:>7.3f} {s.std:>7.3f} "
+              f"{s.cache_misses:>6} {s.cache_hits:>5} {s.throughput:>6.2f}   "
               + " " * pos + "*")
-    print(f"\nevaluations: {result.evaluations}  cache hits: {fitness.cache.hits}")
+    fresh = sum(s.cache_misses for s in result.history)
+    eval_wall = sum(s.eval_wall_s for s in result.history)
+    print(f"\nevaluations: {result.evaluations}  fresh: {fresh}  "
+          f"cache hits: {fitness.cache.hits}  "
+          f"effective throughput: {fresh / max(eval_wall, 1e-9):.2f} evals/s")
 
     bests = [s.best for s in result.history]
     assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(bests, bests[1:])), (
@@ -56,3 +83,6 @@ def test_e6_ga_convergence(benchmark):
     assert last.best <= first.best
     assert last.mean < first.mean + 0.02, "population mean should trend down"
     assert fitness.cache.hits > 0, "crossover must rediscover cached genotypes"
+    assert fresh + fitness.cache.hits == result.evaluations, (
+        "per-generation evaluator accounting must cover every submission"
+    )

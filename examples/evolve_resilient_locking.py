@@ -7,8 +7,13 @@ per-generation convergence trace, re-evaluate the champion with an
 independent ensembled attack, and export the evolved design
 (.bench + .lock.json + structural Verilog) for downstream tooling.
 
-Run:  python examples/evolve_resilient_locking.py [circuit] [K] [pop] [gens]
-e.g.  python examples/evolve_resilient_locking.py c1908_syn 32 12 12
+Run:  python examples/evolve_resilient_locking.py [circuit] [K] [pop] [gens] [workers]
+e.g.  python examples/evolve_resilient_locking.py c1908_syn 32 12 12 4
+
+``workers >= 2`` fans fitness evaluation out across processes; results
+are identical to the serial run. Attack evaluations persist to
+``evolved_designs/fitness_cache.json`` — re-running the same
+configuration costs zero fresh attacks (delete the file to start over).
 """
 
 import sys
@@ -26,7 +31,9 @@ def main() -> None:
     key_length = int(sys.argv[2]) if len(sys.argv) > 2 else 24
     population = int(sys.argv[3]) if len(sys.argv) > 3 else 10
     generations = int(sys.argv[4]) if len(sys.argv) > 4 else 10
+    workers = int(sys.argv[5]) if len(sys.argv) > 5 else 1
 
+    out_dir = Path("evolved_designs")
     circuit = load_circuit(circuit_name)
     config = AutoLockConfig(
         key_length=key_length,
@@ -37,9 +44,11 @@ def main() -> None:
         report_predictor="mlp",
         report_ensemble=3,
         seed=7,
+        workers=workers,
+        cache_path=out_dir / "fitness_cache.json",
     )
     print(f"evolving {circuit_name} (K={key_length}, pop={population}, "
-          f"gens={generations})...")
+          f"gens={generations}, workers={workers})...")
     result = AutoLock(config).run(circuit)
 
     print("\nconvergence (fitness = MuxLink accuracy, lower is better):")
@@ -52,7 +61,9 @@ def main() -> None:
     print(result.summary())
     print(f"baseline population accuracies: "
           f"{[round(a, 3) for a in result.baseline_population_accuracies]}")
-    print(f"fitness cache hits: {result.cache_hits}")
+    print(f"fresh attack evaluations: "
+          f"{result.fitness_evaluations + result.report_evaluations} "
+          f"(cache hits: {result.cache_hits + result.report_cache_hits})")
 
     equivalence = check_equivalence(
         circuit,
@@ -62,7 +73,6 @@ def main() -> None:
     )
     print(f"functional correctness: {equivalence.equal} ({equivalence.method})")
 
-    out_dir = Path("evolved_designs")
     sidecar = save_locked_design(result.locked, out_dir)
     verilog_path = out_dir / f"{result.locked.netlist.name}.v"
     write_verilog_file(result.locked.netlist, verilog_path)

@@ -84,14 +84,23 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         generations=args.generations,
         fitness_predictor=args.predictor,
         seed=args.seed,
+        workers=args.workers,
+        cache_path=args.cache,
     )
     result = AutoLock(config).run(circuit)
     print(result.summary())
     for stats in result.ga.history:
         print(
             f"  gen {stats.generation:3d}  best={stats.best:.3f} "
-            f"mean={stats.mean:.3f} std={stats.std:.3f}"
+            f"mean={stats.mean:.3f} std={stats.std:.3f} "
+            f"evals={stats.cache_misses} hits={stats.cache_hits} "
+            f"({stats.eval_wall_s:.1f}s)"
         )
+    fresh = result.fitness_evaluations + result.report_evaluations
+    hits = result.cache_hits + result.report_cache_hits
+    print(f"attack evaluations: {fresh} fresh, {hits} cache hits")
+    if args.cache:
+        print(f"fitness cache: {args.cache}")
     if args.output:
         sidecar = save_locked_design(result.locked, args.output)
         print(f"saved: {sidecar}")
@@ -143,6 +152,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--predictor", choices=["bayes", "mlp", "gnn"], default="mlp"
     )
     p_evolve.add_argument("--seed", type=int, default=0)
+    p_evolve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fitness-evaluation worker processes (default 1 = serial)",
+    )
+    p_evolve.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="persist attack evaluations to this JSON file and reuse them "
+        "on repeated runs (delete the file to start fresh)",
+    )
     p_evolve.add_argument("--output", default=None)
     p_evolve.set_defaults(func=_cmd_evolve)
     return parser

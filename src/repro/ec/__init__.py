@@ -8,6 +8,7 @@ and standard evolutionary operators search the locking-design space.
 * :mod:`repro.ec.genotype` — genotype sampling, validation and repair
 * :mod:`repro.ec.operators` — selection / crossover / mutation variants
 * :mod:`repro.ec.fitness` — attack-backed fitness functions (with cache)
+* :mod:`repro.ec.evaluator` — batched serial/parallel population evaluation
 * :mod:`repro.ec.ga` — single-objective generational GA
 * :mod:`repro.ec.nsga2` — NSGA-II multi-objective engine
 * :mod:`repro.ec.autolock` — the end-to-end pipeline of Fig. 1
@@ -27,7 +28,18 @@ from repro.ec.operators import (
     select_roulette,
     select_tournament,
 )
-from repro.ec.fitness import FitnessCache, MuxLinkFitness, MultiObjectiveFitness
+from repro.ec.evaluator import (
+    BatchStats,
+    Evaluator,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+)
+from repro.ec.fitness import (
+    FitnessCache,
+    MultiObjectiveFitness,
+    MuxLinkFitness,
+    cache_namespace,
+)
 from repro.ec.ga import GaConfig, GaResult, GenerationStats, GeneticAlgorithm
 from repro.ec.nsga2 import Nsga2, Nsga2Config, Nsga2Result
 from repro.ec.autolock import AutoLock, AutoLockConfig, AutoLockResult
@@ -56,6 +68,11 @@ __all__ = [
     "FitnessCache",
     "MuxLinkFitness",
     "MultiObjectiveFitness",
+    "cache_namespace",
+    "BatchStats",
+    "Evaluator",
+    "SerialEvaluator",
+    "ProcessPoolEvaluator",
     "GaConfig",
     "GaResult",
     "GenerationStats",

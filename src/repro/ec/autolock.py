@@ -19,13 +19,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.attacks.muxlink.attack import MuxLinkAttack
-from repro.ec.fitness import FitnessCache, MuxLinkFitness
+from repro.ec.evaluator import Evaluator, ProcessPoolEvaluator, SerialEvaluator
+from repro.ec.fitness import FitnessCache, MuxLinkFitness, cache_namespace
 from repro.ec.ga import GaConfig, GaResult, GeneticAlgorithm
-from repro.ec.genotype import random_genotype
+from repro.ec.genotype import genotype_key, random_genotype
 from repro.locking.base import LockedCircuit
 from repro.locking.genome_lock import lock_with_genes
 from repro.netlist.netlist import Netlist
@@ -38,6 +40,13 @@ class AutoLockConfig:
 
     ``fitness_predictor`` drives the GA loop (fast); ``report_predictor``
     and ``report_ensemble`` drive the final independent evaluation.
+
+    ``workers >= 2`` fans fitness evaluation out across that many worker
+    processes (see :mod:`repro.ec.evaluator`); the default stays serial
+    and bit-identical to the historical loop. ``cache_path`` points the
+    fitness *and* report caches at a JSON file persisted across runs,
+    namespaced by circuit + attack configuration, so repeated runs and
+    benchmark sweeps reuse prior attack evaluations.
     """
 
     key_length: int = 32
@@ -52,6 +61,8 @@ class AutoLockConfig:
     report_predictor: str = "mlp"
     report_ensemble: int = 3
     seed: int = 0
+    workers: int = 1
+    cache_path: str | Path | None = None
 
     def ga_config(self) -> GaConfig:
         return GaConfig(
@@ -78,6 +89,8 @@ class AutoLockResult:
     cache_hits: int
     runtime_s: float
     baseline_population_accuracies: list[float] = field(default_factory=list)
+    report_evaluations: int = 0
+    report_cache_hits: int = 0
 
     @property
     def accuracy_drop_pp(self) -> float:
@@ -115,7 +128,16 @@ class AutoLock:
         ]
 
         # Step 2: GA refinement against the fast fitness oracle.
-        cache = FitnessCache()
+        cache = FitnessCache(
+            path=cfg.cache_path,
+            namespace=cache_namespace(
+                original.name,
+                role="fitness",
+                predictor=cfg.fitness_predictor,
+                ensemble=cfg.fitness_ensemble,
+                attack_seed=seeds[1],
+            ),
+        )
         fitness = MuxLinkFitness(
             original,
             predictor=cfg.fitness_predictor,
@@ -123,23 +145,58 @@ class AutoLock:
             attack_seed=seeds[1],
             cache=cache,
         )
+        evaluator: Evaluator = (
+            ProcessPoolEvaluator(cfg.workers)
+            if cfg.workers and cfg.workers >= 2
+            else SerialEvaluator()
+        )
         ga = GeneticAlgorithm(cfg.ga_config())
-        result = ga.run(original, fitness, initial_population=initial)
+        try:
+            result = ga.run(
+                original, fitness, initial_population=initial,
+                evaluator=evaluator,
+            )
+        finally:
+            evaluator.close()
 
         # Step 3: decode champion genotype -> locked netlist.
         locked = lock_with_genes(original, result.best_genotype)
 
         # Step 4: independent evaluation of baseline population vs champion.
+        # Cached under its own namespace (stronger attack config than the
+        # fitness oracle), so repeated runs skip the re-evaluation too.
+        report_cache = FitnessCache(
+            path=cfg.cache_path,
+            namespace=cache_namespace(
+                original.name,
+                role="report",
+                predictor=cfg.report_predictor,
+                ensemble=cfg.report_ensemble,
+                attack_seed=seeds[2],
+            ),
+        )
         report_attack = MuxLinkAttack(
             predictor=cfg.report_predictor, ensemble=cfg.report_ensemble
         )
-        baseline_accs = [
-            report_attack.run(
-                lock_with_genes(original, genes), seed_or_rng=seeds[2]
-            ).accuracy
-            for genes in initial
-        ]
-        evolved_acc = report_attack.run(locked, seed_or_rng=seeds[2]).accuracy
+        report_evaluations = 0
+
+        def report_accuracy(genes) -> float:
+            nonlocal report_evaluations
+            key = genotype_key(genes)
+            cached = report_cache.get(key)
+            if cached is not None:
+                return float(cached)
+            acc = float(
+                report_attack.run(
+                    lock_with_genes(original, genes), seed_or_rng=seeds[2]
+                ).accuracy
+            )
+            report_evaluations += 1
+            report_cache.put(key, acc)
+            return acc
+
+        baseline_accs = [report_accuracy(genes) for genes in initial]
+        evolved_acc = report_accuracy(result.best_genotype)
 
         return AutoLockResult(
             locked=locked,
@@ -150,4 +207,6 @@ class AutoLock:
             cache_hits=cache.hits,
             runtime_s=time.perf_counter() - started,
             baseline_population_accuracies=[float(a) for a in baseline_accs],
+            report_evaluations=report_evaluations,
+            report_cache_hits=report_cache.hits,
         )

@@ -1,0 +1,266 @@
+"""Batched population evaluation: the GA/NSGA-II hot path.
+
+Every generation the evolutionary engines need fitness values for a whole
+population at once, and each fresh value costs a full netlist locking plus
+an ML attack run. This module turns that per-genome loop into a batch
+pipeline:
+
+1. canonicalise each genotype to its cache key,
+2. dedupe repeated genotypes within the batch (crossover routinely clones
+   parents, elitism re-submits champions),
+3. answer what it can from the fitness function's :class:`FitnessCache`
+   (optionally persistent across runs),
+4. fan the remaining misses out — serially, or across worker processes —
+   and merge the results back through the cache.
+
+Both backends are *observationally identical* to the historical per-genome
+loop: fitness functions are deterministic per genotype (fixed attack
+seed), so dispatch order and process boundaries cannot change any value,
+and the cache hit/miss counters are replayed so accounting matches the
+serial semantics exactly. ``tests/test_ec_evaluator.py`` locks this down
+with byte-for-byte result equivalence on fixed seeds.
+
+Pass ``ProcessPoolEvaluator(workers=N)`` to ``GeneticAlgorithm.run`` /
+``Nsga2.run`` / ``AutoLockConfig(workers=N)`` to opt in; the serial
+default preserves exact current behaviour. Fitness callables that cannot
+be pickled (lambdas, closures) degrade gracefully to in-process
+evaluation.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.ec.genotype import genotype_key
+from repro.locking.dmux import MuxGene
+
+Genotype = list[MuxGene]
+Fitness = Callable[[Sequence[MuxGene]], "float | tuple[float, ...]"]
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Accounting for one population evaluation."""
+
+    size: int = 0          #: genomes submitted
+    unique: int = 0        #: distinct genotypes after in-batch dedup
+    cache_hits: int = 0    #: answers served by the fitness cache
+    dispatched: int = 0    #: fresh attack evaluations actually run
+    wall_s: float = 0.0    #: wall-clock spent in this batch
+
+    def merged(self, other: "BatchStats") -> "BatchStats":
+        return BatchStats(
+            size=self.size + other.size,
+            unique=self.unique + other.unique,
+            cache_hits=self.cache_hits + other.cache_hits,
+            dispatched=self.dispatched + other.dispatched,
+            wall_s=self.wall_s + other.wall_s,
+        )
+
+
+class Evaluator:
+    """Evaluates a population against a fitness function.
+
+    Subclasses implement :meth:`evaluate`; the base class provides
+    lifetime management and aggregate statistics. Evaluators are context
+    managers; callers that create one own its :meth:`close`.
+    """
+
+    def __init__(self) -> None:
+        self.total = BatchStats()
+
+    def evaluate(
+        self, population: Sequence[Genotype], fitness: Fitness
+    ) -> tuple[list, BatchStats]:
+        """Return fitness values in population order plus batch stats."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release worker resources (no-op for serial)."""
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _counters(fitness: Fitness) -> tuple[int, int, int]:
+        """Snapshot (cache hits, cache misses, evaluations) if exposed."""
+        cache = getattr(fitness, "cache", None)
+        return (
+            getattr(cache, "hits", 0),
+            getattr(cache, "misses", 0),
+            getattr(fitness, "evaluations", 0),
+        )
+
+    def _record(self, stats: BatchStats) -> BatchStats:
+        self.total = self.total.merged(stats)
+        return stats
+
+
+class SerialEvaluator(Evaluator):
+    """In-order, in-process evaluation — the exact historical behaviour.
+
+    Each genome is passed straight to ``fitness`` (which consults its own
+    cache), so call order, RNG interaction and counter updates are
+    bit-identical to the pre-evaluator per-genome loop.
+    """
+
+    def evaluate(
+        self, population: Sequence[Genotype], fitness: Fitness
+    ) -> tuple[list, BatchStats]:
+        started = time.perf_counter()
+        hits0, _, evals0 = self._counters(fitness)
+        values = [fitness(genes) for genes in population]
+        hits1, _, evals1 = self._counters(fitness)
+        stats = BatchStats(
+            size=len(population),
+            unique=len({genotype_key(g) for g in population}),
+            cache_hits=hits1 - hits0,
+            dispatched=evals1 - evals0,
+            wall_s=time.perf_counter() - started,
+        )
+        return values, self._record(stats)
+
+
+# -- worker-process plumbing -----------------------------------------------
+_WORKER_FITNESS: Fitness | None = None
+
+
+def _init_worker(blob: bytes) -> None:
+    """Unpickle the fitness function once per worker process."""
+    global _WORKER_FITNESS
+    _WORKER_FITNESS = pickle.loads(blob)
+
+
+def _eval_one(genes: Genotype):
+    assert _WORKER_FITNESS is not None, "worker initialised without fitness"
+    return _WORKER_FITNESS(genes)
+
+
+class ProcessPoolEvaluator(Evaluator):
+    """Deduped, cache-fronted fan-out across worker processes.
+
+    The fitness function is pickled once per pool and rebuilt in each
+    worker; only cache misses travel to workers, and results merge back
+    through the dispatcher's cache so persistent stores see every value.
+    The pool is created lazily on first use and rebuilt only when a
+    *different* fitness object arrives — the snapshot shipped to workers
+    deliberately excludes later in-place mutation of the dispatcher's
+    fitness (its warming cache, its counters), which workers never need:
+    they only ever see genotypes the dispatcher's cache missed.
+
+    ``workers=None`` uses ``os.cpu_count()``. Unpicklable fitness
+    callables fall back to in-process evaluation with a one-time warning —
+    results are still correct, just not parallel.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__()
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_fitness: Fitness | None = None
+        self._warned_unpicklable = False
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_fitness = None
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, population: Sequence[Genotype], fitness: Fitness
+    ) -> tuple[list, BatchStats]:
+        started = time.perf_counter()
+        cache = getattr(fitness, "cache", None)
+        hits0 = getattr(cache, "hits", 0)
+
+        keys = [genotype_key(g) for g in population]
+        results: dict[tuple, object] = {}
+        pending: dict[tuple, Genotype] = {}
+        duplicates: list[tuple] = []
+        for key, genes in zip(keys, population):
+            if key in results or key in pending:
+                duplicates.append(key)
+                continue
+            if cache is not None:
+                cached = cache.get(key)  # records the hit/miss
+                if cached is not None:
+                    results[key] = cached
+                    continue
+            pending[key] = genes
+
+        if pending:
+            fresh, used_fallback = self._run_pending(
+                list(pending.values()), fitness
+            )
+            for key, value in zip(pending, fresh):
+                if cache is not None:
+                    cache.put(key, value, flush=False)
+                results[key] = value
+            if hasattr(cache, "flush"):
+                cache.flush()
+            if used_fallback:
+                # The in-process fallback called ``fitness`` directly, so a
+                # cache-fronted fitness already recorded one miss per
+                # pending key and bumped its own evaluation counter; undo
+                # the duplicate misses from the dedup phase above.
+                if cache is not None:
+                    cache.misses -= len(pending)
+            elif hasattr(fitness, "evaluations"):
+                fitness.evaluations += len(pending)
+
+        # Replay duplicate lookups so hit/miss counters match the serial
+        # loop, where every repeat genome lands in the (now warm) cache.
+        if cache is not None:
+            for key in duplicates:
+                cache.get(key)
+
+        stats = BatchStats(
+            size=len(population),
+            unique=len(results),
+            cache_hits=getattr(cache, "hits", 0) - hits0,
+            dispatched=len(pending),
+            wall_s=time.perf_counter() - started,
+        )
+        return [results[key] for key in keys], self._record(stats)
+
+    def _run_pending(
+        self, genomes: list[Genotype], fitness: Fitness
+    ) -> tuple[list, bool]:
+        """Evaluate fresh genotypes; returns (values, used_fallback)."""
+        if self._pool is None or fitness is not self._pool_fitness:
+            try:
+                blob = pickle.dumps(fitness)
+            except Exception:
+                if not self._warned_unpicklable:
+                    warnings.warn(
+                        "fitness function is not picklable; "
+                        "ProcessPoolEvaluator falling back to in-process "
+                        "evaluation (results unchanged, no parallelism)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    self._warned_unpicklable = True
+                return [fitness(genes) for genes in genomes], True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(blob,),
+            )
+            self._pool_fitness = fitness
+        return list(self._pool.map(_eval_one, genomes)), False

@@ -7,12 +7,19 @@ smaller is better), which reads naturally in convergence plots.
 
 Evaluations are deterministic per genotype (fixed attack seed) and cached
 by canonical genotype key, since crossover routinely recreates previously
-seen individuals.
+seen individuals. The cache is thread-safe (population evaluators merge
+worker results from the dispatching thread) and can persist to a JSON
+file shared across runs, namespaced by circuit + attack configuration so
+benchmark sweeps never mix incompatible evaluations.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Protocol, Sequence
 
 from repro.attacks.muxlink.attack import MuxLinkAttack
@@ -31,23 +38,148 @@ class FitnessFunction(Protocol):
         ...  # pragma: no cover - protocol
 
 
+def cache_namespace(circuit_name: str, **attack_config) -> str:
+    """Canonical persistence namespace for (circuit, attack config).
+
+    Sorted ``key=value`` pairs keep the namespace independent of call-site
+    argument order, so two runs with the same configuration always share
+    on-disk entries.
+    """
+    parts = [circuit_name]
+    parts += [f"{k}={attack_config[k]}" for k in sorted(attack_config)]
+    return "|".join(parts)
+
+
+def _key_to_str(key: tuple) -> str:
+    """Serialise a genotype key to a canonical JSON string."""
+    return json.dumps(key, separators=(",", ":"))
+
+
 @dataclass
 class FitnessCache:
-    """Genotype-keyed memo with hit statistics."""
+    """Genotype-keyed memo with hit statistics.
+
+    ``path`` enables write-through persistence: entries are loaded from
+    (and saved to) a JSON file mapping ``namespace -> key -> value``.
+    Saves are read-merge-write with an atomic rename; caches with
+    distinct namespaces can share one file as long as their flushes do
+    not interleave (sequential use within a process, as in the AutoLock
+    pipeline). Truly concurrent writers — two processes, or two threads
+    flushing different cache objects simultaneously — can lose each
+    other's newest entries between read and rename; that needs the
+    planned SQLite backend. All mutating operations on one cache object
+    hold an internal lock, making it safe to share between the evaluator
+    dispatch thread and any caller.
+    """
 
     store: dict[tuple, float | tuple[float, ...]] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    path: str | Path | None = None
+    namespace: str = "default"
 
+    def __post_init__(self) -> None:
+        self._lock = threading.RLock()
+        if self.path is not None:
+            self.path = Path(self.path)
+            if self.path.is_dir():
+                raise ValueError(
+                    f"cache path {self.path} is a directory; "
+                    "point it at a JSON file"
+                )
+            self._load()
+
+    # -- persistence ----------------------------------------------------
+    @staticmethod
+    def _decode(value):
+        # JSON turns tuples into lists; restore vector fitness as tuples.
+        return tuple(value) if isinstance(value, list) else value
+
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return  # corrupt/unreadable cache file: start fresh, don't crash
+        for key_str, value in payload.get(self.namespace, {}).items():
+            key = tuple(tuple(g) for g in json.loads(key_str))
+            self.store[key] = self._decode(value)
+
+    def flush(self) -> None:
+        """Read-merge-write this cache's namespace into ``path``."""
+        if self.path is None:
+            return
+        with self._lock:
+            payload: dict = {}
+            if self.path.exists():
+                try:
+                    payload = json.loads(self.path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    payload = {}
+            section = payload.setdefault(self.namespace, {})
+            for key, value in self.store.items():
+                section[_key_to_str(key)] = value
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, self.path)
+
+    def wipe_disk(self) -> None:
+        """Remove this cache's namespace from the on-disk file."""
+        if self.path is None or not self.path.exists():
+            return
+        with self._lock:
+            try:
+                payload = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                payload = {}
+            payload.pop(self.namespace, None)
+            if payload:
+                tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+                tmp.write_text(json.dumps(payload))
+                os.replace(tmp, self.path)
+            else:
+                self.path.unlink()
+
+    # -- pickling (worker-process dispatch) -----------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the lock; drop ``path`` so unpickled copies
+        (fitness clones living in worker processes) never write the shared
+        cache file — the dispatching process owns persistence."""
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        state["path"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    # -- memo protocol --------------------------------------------------
     def get(self, key: tuple):
-        if key in self.store:
-            self.hits += 1
-            return self.store[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self.store:
+                self.hits += 1
+                return self.store[key]
+            self.misses += 1
+            return None
 
-    def put(self, key: tuple, value) -> None:
-        self.store[key] = value
+    def put(self, key: tuple, value, flush: bool = True) -> None:
+        """Memoise ``value``; write-through to disk unless ``flush=False``.
+
+        The per-put flush is deliberate for attack-backed fitness — each
+        fresh value costs an attack run, so persisting it immediately is
+        cheap insurance. Batch writers (the evaluator merge loop) pass
+        ``flush=False`` and call :meth:`flush` once per batch.
+        """
+        with self._lock:
+            self.store[key] = value
+        if flush and self.path is not None:
+            self.flush()
+
+    def __len__(self) -> int:
+        return len(self.store)
 
 
 class MuxLinkFitness:

@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.ec.evaluator import Evaluator, SerialEvaluator
 from repro.ec.genotype import genotype_key, random_genotype, repair_genotype
 from repro.ec.operators import CROSSOVERS, MUTATIONS, MutationConfig, mutate
 from repro.errors import EvolutionError
@@ -131,18 +132,28 @@ class Nsga2:
         self,
         original: Netlist,
         fitness: Callable[[Sequence[MuxGene]], Objectives],
+        evaluator: Evaluator | None = None,
     ) -> Nsga2Result:
+        """Evolve a Pareto front of lockings of ``original``.
+
+        ``evaluator`` batches population evaluation exactly as in
+        :meth:`GeneticAlgorithm.run`; the serial default preserves the
+        historical per-genome loop, and the caller owns any pool passed
+        in.
+        """
         cfg = self.config
         rng = derive_rng(cfg.seed)
         cross = CROSSOVERS[cfg.crossover]
         mut_cfg = cfg.mutation_config
+        evaluator = evaluator if evaluator is not None else SerialEvaluator()
         started = time.perf_counter()
 
         population = [
             random_genotype(original, cfg.key_length, rng)
             for _ in range(cfg.population_size)
         ]
-        objs = [tuple(fitness(g)) for g in population]
+        raw, _ = evaluator.evaluate(population, fitness)
+        objs = [tuple(v) for v in raw]
         n_evals = len(population)
         history: list[dict] = []
 
@@ -160,7 +171,8 @@ class Nsga2:
                         break
                     child = mutate(original, child, mut_cfg, rng)
                     offspring.append(repair_genotype(original, child, rng))
-            off_objs = [tuple(fitness(g)) for g in offspring]
+            raw, batch = evaluator.evaluate(offspring, fitness)
+            off_objs = [tuple(v) for v in raw]
             n_evals += len(offspring)
 
             combined = population + offspring
@@ -177,6 +189,8 @@ class Nsga2:
                         min(objs[i][m] for i in front0)
                         for m in range(len(objs[0]))
                     ],
+                    "cache_hits": batch.cache_hits,
+                    "cache_misses": batch.dispatched,
                 }
             )
 
