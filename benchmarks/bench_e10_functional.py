@@ -3,7 +3,9 @@
 §II's correctness premise: "A correct key preserves the original circuit
 behavior, while incorrect keys lead to erroneous outputs." This bench
 verifies both halves quantitatively for every scheme, including an
-AutoLock-evolved design.
+AutoLock-evolved design — all through the declarative runner with the
+``corruption`` metric attached, so static lockings and the evolved
+champion share one code path.
 
 Shape expectations: zero error under the correct key; clearly positive
 error under random wrong keys.
@@ -13,37 +15,45 @@ from __future__ import annotations
 
 from conftest import print_header, scaled
 
-from repro.circuits import load_circuit
-from repro.ec import AutoLock, AutoLockConfig
-from repro.locking import DMuxLocking, RandomLogicLocking
-from repro.metrics import corruption_report
+from repro.api import ExperimentSpec, SweepSpec, run_sweep
+
+_CIRCUITS = ["c432_syn", "c1355_syn"]
+_CORRUPTION = {"n_wrong_keys": 8, "n_patterns": 1024, "seed_or_rng": 1}
 
 
 def run_functional() -> list:
-    rows = []
-    for cname in ["c432_syn", "c1355_syn"]:
-        circuit = load_circuit(cname)
-        designs = [
-            RandomLogicLocking().lock(circuit, 32, seed_or_rng=3),
-            DMuxLocking("shared").lock(circuit, 32, seed_or_rng=3),
-            DMuxLocking("two_key").lock(circuit, 32, seed_or_rng=3),
-        ]
-        config = AutoLockConfig(
-            key_length=16,
-            population_size=scaled(6, minimum=4),
-            generations=scaled(4, minimum=2),
-            fitness_predictor="bayes",
-            report_predictor="bayes",
-            seed=31,
-        )
-        designs.append(AutoLock(config).run(circuit).locked)
-        for locked in designs:
-            rows.append(
-                corruption_report(
-                    locked, n_wrong_keys=8, n_patterns=1024, seed_or_rng=1
-                )
-            )
-    return rows
+    sweep = SweepSpec(
+        name="e10_functional",
+        base=ExperimentSpec(
+            circuit=_CIRCUITS[0],
+            key_length=32,
+            attack=None,
+            metrics=("corruption",),
+            metric_params={"corruption": dict(_CORRUPTION)},
+            seed=3,
+        ),
+        axes={
+            "circuit": list(_CIRCUITS),
+            "*design": [
+                {"scheme": "rll"},
+                {"scheme": "dmux", "scheme_params": {"strategy": "shared"}},
+                {"scheme": "dmux", "scheme_params": {"strategy": "two_key"}},
+                {
+                    "key_length": 16,
+                    "attack": "muxlink",
+                    "attack_params": {"predictor": "bayes"},
+                    "engine": "autolock",
+                    "engine_params": {
+                        "population_size": scaled(6, minimum=4),
+                        "generations": scaled(4, minimum=2),
+                        "report_predictor": "bayes",
+                    },
+                    "seed": 31,
+                },
+            ],
+        },
+    )
+    return [run.metrics["corruption"] for run in run_sweep(sweep).results]
 
 
 def test_e10_functional(benchmark):

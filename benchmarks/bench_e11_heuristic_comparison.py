@@ -3,7 +3,9 @@
 "We will explore other techniques out of the evolutionary computation
 field to better understand what heuristics are more suitable for this
 form of automation." Budget-matched comparison of the GA against random
-search, hill climbing and simulated annealing on the same fitness oracle.
+search, hill climbing and simulated annealing on the same fitness oracle
+— one sweep whose merge axis varies the registered ``engine``, which is
+exactly what the engine registry exists for.
 
 Shape expectation: every informed heuristic beats random search's final
 fitness or at least matches it; the GA is competitive with the best
@@ -14,50 +16,44 @@ from __future__ import annotations
 
 from conftest import print_header, scaled
 
-from repro.circuits import load_circuit
-from repro.ec import (
-    GaConfig,
-    GeneticAlgorithm,
-    HillClimber,
-    MuxLinkFitness,
-    RandomSearch,
-    SimulatedAnnealing,
-)
-from repro.ec.fitness import FitnessCache
+from repro.api import ExperimentSpec, SweepSpec, run_sweep
 
 _KEY_LENGTH = 16
 
 
 def run_comparison():
-    circuit = load_circuit("c1355_syn")
     budget = scaled(80, minimum=20)
-
-    def fresh_fitness():
-        return MuxLinkFitness(
-            circuit, predictor="bayes", attack_seed=0xE11, cache=FitnessCache()
-        )
-
-    rows = []
-    ga_fit = fresh_fitness()
     pop = max(4, budget // 10)
-    config = GaConfig(
-        key_length=_KEY_LENGTH,
-        population_size=pop,
-        generations=max(2, budget // pop),
-        seed=41,
+    engine_axis = [
+        {
+            "engine": "ga",
+            "engine_params": {
+                "population_size": pop,
+                "generations": max(2, budget // pop),
+            },
+        },
+    ] + [
+        {"engine": name, "engine_params": {"evaluations": budget}}
+        for name in ("random_search", "hill_climber", "simulated_annealing")
+    ]
+    sweep = SweepSpec(
+        name="e11_heuristics",
+        base=ExperimentSpec(
+            circuit="c1355_syn",
+            key_length=_KEY_LENGTH,
+            attack="muxlink",
+            attack_params={"predictor": "bayes"},
+            seed=41,
+            attack_seed=0xE11,
+        ),
+        axes={"*engine": engine_axis},
     )
-    ga = GeneticAlgorithm(config).run(circuit, ga_fit)
-    rows.append(("ga", ga.best_fitness, ga.evaluations, ga.history[0].best))
-
-    for searcher in (
-        RandomSearch(_KEY_LENGTH, evaluations=budget, seed=41),
-        HillClimber(_KEY_LENGTH, evaluations=budget, seed=41),
-        SimulatedAnnealing(_KEY_LENGTH, evaluations=budget, seed=41),
-    ):
-        result = searcher.run(circuit, fresh_fitness())
+    rows = []
+    for run in run_sweep(sweep).results:
+        rec = run.record["engine"]
         rows.append(
-            (searcher.name, result.best_fitness, result.evaluations,
-             result.trajectory[0])
+            (run.spec.engine, rec["best_fitness"], rec["evaluations"],
+             rec["initial_best"])
         )
     return rows
 

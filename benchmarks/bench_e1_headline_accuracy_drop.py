@@ -4,9 +4,11 @@
 capability of AutoLock to generate locked netlists that successfully
 decrease the attack accuracy by 25 percentage points."
 
-We run the full pipeline on two mid-size circuits and report the mean
-initial-population MuxLink accuracy vs the evolved champion's, measured
-by an independent (ensembled) attack configuration.
+We run the full pipeline on two mid-size circuits — expressed as one
+declarative sweep over the ``circuit`` axis, so both points share the
+experiment backend — and report the mean initial-population MuxLink
+accuracy vs the evolved champion's, measured by an independent
+(ensembled) attack configuration.
 
 Shape expectation: drop >= ~15 pp on each circuit (paper: ~25 pp;
 exact magnitude depends on budget — see EXPERIMENTS.md).
@@ -16,26 +18,33 @@ from __future__ import annotations
 
 from conftest import print_header, scaled
 
-from repro.circuits import load_circuit
-from repro.ec import AutoLock, AutoLockConfig
+from repro.api import ExperimentSpec, SweepSpec, run_sweep
 
 _CIRCUITS = ["c1908_syn", "c2670_syn"]
 
 
 def run_headline() -> list:
-    results = []
-    for cname in _CIRCUITS:
-        circuit = load_circuit(cname)
-        config = AutoLockConfig(
+    sweep = SweepSpec(
+        name="e1_headline",
+        base=ExperimentSpec(
+            circuit=_CIRCUITS[0],
             key_length=32,
-            population_size=scaled(12, minimum=4),
-            generations=scaled(12, minimum=3),
-            fitness_ensemble=2,
-            report_ensemble=3,
+            attack="muxlink",
+            engine="autolock",
+            engine_params={
+                "population_size": scaled(12, minimum=4),
+                "generations": scaled(12, minimum=3),
+                "fitness_ensemble": 2,
+                "report_ensemble": 3,
+            },
             seed=7,
-        )
-        results.append((cname, AutoLock(config).run(circuit)))
-    return results
+        ),
+        axes={"circuit": list(_CIRCUITS)},
+    )
+    return [
+        (run.spec.circuit, run.engine_result)
+        for run in run_sweep(sweep).results
+    ]
 
 
 def test_e1_headline_accuracy_drop(benchmark):

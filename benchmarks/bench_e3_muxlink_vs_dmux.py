@@ -1,9 +1,11 @@
 """E3 — the premise: MuxLink breaks unevolved D-MUX.
 
 §I/§II of the paper build on MuxLink (DATE 2022) having compromised
-D-MUX. This bench reproduces that table shape: MuxLink key-prediction
-accuracy on randomly-placed D-MUX locking across circuits, key sizes and
-predictor backends.
+D-MUX. This bench reproduces that table shape as one declarative sweep
+— circuits × key sizes × attack configurations — so every cell routes
+through the same registry-driven runner: MuxLink key-prediction accuracy
+on randomly-placed D-MUX locking, per predictor backend, against the
+random baseline.
 
 Shape expectation: accuracies well above the 0.5 random floor (published
 MuxLink reaches ~0.9+ on ISCAS with a full DGCNN; our scaled-down
@@ -16,36 +18,69 @@ from __future__ import annotations
 import numpy as np
 from conftest import print_header, scaled
 
-from repro.attacks import MuxLinkAttack, RandomGuessAttack
-from repro.circuits import load_circuit
-from repro.locking import DMuxLocking
+from repro.api import ExperimentSpec, SweepSpec, run_experiment, run_sweep
 
 _CIRCUITS = ["c880_syn", "c1355_syn", "c1908_syn", "c2670_syn"]
 _KEYS = [16, 32, 64]
 
 
 def run_matrix() -> list:
-    rows = []
-    for cname in _CIRCUITS:
-        circuit = load_circuit(cname)
-        for key_len in _KEYS:
-            locked = DMuxLocking("shared").lock(circuit, key_len, seed_or_rng=11)
-            mlp = MuxLinkAttack(
-                predictor="mlp", ensemble=scaled(3, minimum=1)
-            ).run(locked, seed_or_rng=9)
-            bayes = MuxLinkAttack(predictor="bayes").run(locked, seed_or_rng=9)
-            rand = RandomGuessAttack().run(locked, seed_or_rng=9)
-            rows.append((cname, key_len, mlp, bayes, rand))
-    return rows
+    sweep = SweepSpec(
+        name="e3_muxlink_vs_dmux",
+        base=ExperimentSpec(
+            circuit=_CIRCUITS[0],
+            scheme="dmux",
+            scheme_params={"strategy": "shared"},
+            seed=11,
+            attack_seed=9,
+        ),
+        axes={
+            "circuit": list(_CIRCUITS),
+            "key_length": list(_KEYS),
+            "*attack": [
+                {
+                    "attack": "muxlink",
+                    "attack_params": {
+                        "predictor": "mlp",
+                        "ensemble": scaled(3, minimum=1),
+                    },
+                    "tag": "mlp",
+                },
+                {
+                    "attack": "muxlink",
+                    "attack_params": {"predictor": "bayes"},
+                    "tag": "bayes",
+                },
+                {"attack": "random", "tag": "random"},
+            ],
+        },
+    )
+    by_cell: dict[tuple, dict] = {}
+    for run in run_sweep(sweep).results:
+        cell = by_cell.setdefault((run.spec.circuit, run.spec.key_length), {})
+        cell[run.spec.tag.split(",")[-1]] = run.attack_report
+    return [
+        (cname, key_len, cell["mlp"], cell["bayes"], cell["random"])
+        for (cname, key_len), cell in by_cell.items()
+    ]
 
 
 def run_gnn_spotcheck():
-    locked = DMuxLocking("shared").lock(
-        load_circuit("c1355_syn"), 32, seed_or_rng=11
+    spec = ExperimentSpec(
+        circuit="c1355_syn",
+        key_length=32,
+        scheme="dmux",
+        scheme_params={"strategy": "shared"},
+        attack="muxlink",
+        attack_params={
+            "predictor": "gnn",
+            "epochs": scaled(12, minimum=4),
+            "n_train": scaled(200, minimum=60),
+        },
+        seed=11,
+        attack_seed=9,
     )
-    return MuxLinkAttack(
-        predictor="gnn", epochs=scaled(12, minimum=4), n_train=scaled(200, minimum=60)
-    ).run(locked, seed_or_rng=9)
+    return run_experiment(spec).attack_report
 
 
 def test_e3_muxlink_vs_dmux(benchmark):

@@ -3,33 +3,45 @@
 The paper's research plan (§III, bullet 3) calls for evaluating other
 attack vectors. MUX-based locking is *not* SAT-resilient — the literature
 reports the SAT attack breaking D-MUX-style schemes in a handful of DIPs.
-This bench reproduces that shape: both RLL and D-MUX fall, DIP counts
-grow slowly with key length, and the recovered key is always
-functionally correct.
+This bench reproduces that shape as one sweep over circuits × key sizes
+× schemes: both RLL and D-MUX fall, DIP counts grow slowly with key
+length, and the recovered key is always functionally correct.
 """
 
 from __future__ import annotations
 
 from conftest import print_header
 
-from repro.attacks import SatAttack
-from repro.circuits import load_circuit
-from repro.locking import DMuxLocking, RandomLogicLocking
+from repro.api import ExperimentSpec, SweepSpec, run_sweep
 
 _CIRCUITS = ["c432_syn", "c880_syn"]
 _KEYS = [8, 16, 32]
 
 
 def run_sat_matrix() -> list:
-    rows = []
-    for cname in _CIRCUITS:
-        circuit = load_circuit(cname)
-        for key_len in _KEYS:
-            for scheme in (RandomLogicLocking(), DMuxLocking("shared")):
-                locked = scheme.lock(circuit, key_len, seed_or_rng=5)
-                report = SatAttack(max_iterations=256).run(locked, seed_or_rng=1)
-                rows.append((cname, key_len, locked.scheme, report))
-    return rows
+    sweep = SweepSpec(
+        name="e4_sat_attack",
+        base=ExperimentSpec(
+            circuit=_CIRCUITS[0],
+            attack="sat",
+            attack_params={"max_iterations": 256},
+            seed=5,
+            attack_seed=1,
+        ),
+        axes={
+            "circuit": list(_CIRCUITS),
+            "key_length": list(_KEYS),
+            "*scheme": [
+                {"scheme": "rll"},
+                {"scheme": "dmux", "scheme_params": {"strategy": "shared"}},
+            ],
+        },
+    )
+    return [
+        (run.spec.circuit, run.spec.key_length, run.locked.scheme,
+         run.attack_report)
+        for run in run_sweep(sweep).results
+    ]
 
 
 def test_e4_sat_attack(benchmark):

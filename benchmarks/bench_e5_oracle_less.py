@@ -1,7 +1,8 @@
 """E5 — oracle-less baseline attacks (SCOPE + SnapShot shapes).
 
 §III bullet 3: a multi-attack evaluation needs oracle-less baselines
-beyond MuxLink. Two published shapes are reproduced here:
+beyond MuxLink. Two published shapes are reproduced here as one sweep
+over circuits × key sizes × schemes × attacks:
 
 * SCOPE (constant propagation): XOR/XNOR RLL leaks its key bits to
   per-bit constant propagation; symmetric MUX pairs are invisible to it.
@@ -18,25 +19,41 @@ from __future__ import annotations
 import numpy as np
 from conftest import print_header
 
-from repro.attacks import ScopeAttack, SnapShotAttack
-from repro.circuits import load_circuit
-from repro.locking import DMuxLocking, RandomLogicLocking
+from repro.api import ExperimentSpec, SweepSpec, run_sweep
 
 _CIRCUITS = ["c432_syn", "c1355_syn", "c2670_syn"]
 _KEYS = [16, 32]
 
 
 def run_oracle_less_matrix() -> list:
-    rows = []
-    for cname in _CIRCUITS:
-        circuit = load_circuit(cname)
-        for key_len in _KEYS:
-            for scheme in (RandomLogicLocking(), DMuxLocking("shared")):
-                locked = scheme.lock(circuit, key_len, seed_or_rng=7)
-                scope = ScopeAttack().run(locked, seed_or_rng=0)
-                snapshot = SnapShotAttack().run(locked, seed_or_rng=0)
-                rows.append((cname, key_len, locked.scheme, scope, snapshot))
-    return rows
+    sweep = SweepSpec(
+        name="e5_oracle_less",
+        base=ExperimentSpec(
+            circuit=_CIRCUITS[0],
+            seed=7,
+            attack_seed=0,
+        ),
+        axes={
+            "circuit": list(_CIRCUITS),
+            "key_length": list(_KEYS),
+            "*scheme": [
+                {"scheme": "rll"},
+                {"scheme": "dmux", "scheme_params": {"strategy": "shared"}},
+            ],
+            "*attack": [{"attack": "scope"}, {"attack": "snapshot"}],
+        },
+    )
+    by_cell: dict[tuple, dict] = {}
+    scheme_names: dict[tuple, str] = {}
+    for run in run_sweep(sweep).results:
+        cell_key = (run.spec.circuit, run.spec.key_length, run.spec.scheme)
+        by_cell.setdefault(cell_key, {})[run.spec.attack] = run.attack_report
+        scheme_names[cell_key] = run.locked.scheme
+    return [
+        (cname, key_len, scheme_names[(cname, key_len, scheme)],
+         cell["scope"], cell["snapshot"])
+        for (cname, key_len, scheme), cell in by_cell.items()
+    ]
 
 
 def test_e5_oracle_less(benchmark):

@@ -5,11 +5,12 @@ refining the population "until a set number of iterations or desired
 fitness is achieved". This bench traces best/mean fitness per generation
 — the convergence curve implicit in Fig. 1 z — and, since the population
 evaluator records cache hits and wall time per generation, the effective
-evaluation throughput of the hot path.
+evaluation throughput of the hot path. The whole run is one declarative
+``ExperimentSpec`` with ``engine="ga"``.
 
 ``REPRO_BENCH_WORKERS`` (default 0 = serial) opts the fitness loop into
-the process-pool evaluator; results are identical by construction, only
-the throughput changes.
+the process-pool evaluator via ``spec.workers``; results are identical
+by construction, only the throughput changes.
 
 Shape expectation: best fitness is non-increasing (elitism) and the
 population mean improves substantially from generation 0 to the end.
@@ -21,39 +22,32 @@ import os
 
 from conftest import print_header, scaled
 
-from repro.circuits import load_circuit
-from repro.ec import (
-    GaConfig,
-    GeneticAlgorithm,
-    MuxLinkFitness,
-    ProcessPoolEvaluator,
-    SerialEvaluator,
-)
+from repro.api import ExperimentSpec, run_experiment
 
 
 def run_convergence():
-    circuit = load_circuit("c1355_syn")
-    fitness = MuxLinkFitness(circuit, predictor="mlp", attack_seed=0xBEEF)
-    config = GaConfig(
-        key_length=24,
-        population_size=scaled(10, minimum=4),
-        generations=scaled(10, minimum=4),
-        elitism=2,
-        seed=3,
-    )
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
-    evaluator = ProcessPoolEvaluator(workers) if workers >= 2 else SerialEvaluator()
-    try:
-        result = GeneticAlgorithm(config).run(
-            circuit, fitness, evaluator=evaluator
-        )
-    finally:
-        evaluator.close()
-    return result, fitness
+    spec = ExperimentSpec(
+        circuit="c1355_syn",
+        key_length=24,
+        attack="muxlink",
+        attack_params={"predictor": "mlp"},
+        engine="ga",
+        engine_params={
+            "population_size": scaled(10, minimum=4),
+            "generations": scaled(10, minimum=4),
+            "elitism": 2,
+        },
+        seed=3,
+        attack_seed=0xBEEF,
+        workers=max(1, workers),
+    )
+    run = run_experiment(spec)
+    return run.engine_result, run.engine_outcome
 
 
 def test_e6_ga_convergence(benchmark):
-    result, fitness = benchmark.pedantic(run_convergence, rounds=1, iterations=1)
+    result, outcome = benchmark.pedantic(run_convergence, rounds=1, iterations=1)
     print_header(
         "E6",
         "GA convergence: fitness (MuxLink accuracy) per generation",
@@ -72,7 +66,7 @@ def test_e6_ga_convergence(benchmark):
     fresh = sum(s.cache_misses for s in result.history)
     eval_wall = sum(s.eval_wall_s for s in result.history)
     print(f"\nevaluations: {result.evaluations}  fresh: {fresh}  "
-          f"cache hits: {fitness.cache.hits}  "
+          f"cache hits: {outcome.cache_hits}  "
           f"effective throughput: {fresh / max(eval_wall, 1e-9):.2f} evals/s")
 
     bests = [s.best for s in result.history]
@@ -82,7 +76,7 @@ def test_e6_ga_convergence(benchmark):
     first, last = result.history[0], result.history[-1]
     assert last.best <= first.best
     assert last.mean < first.mean + 0.02, "population mean should trend down"
-    assert fitness.cache.hits > 0, "crossover must rediscover cached genotypes"
-    assert fresh + fitness.cache.hits == result.evaluations, (
+    assert outcome.cache_hits > 0, "crossover must rediscover cached genotypes"
+    assert fresh + outcome.cache_hits == result.evaluations, (
         "per-generation evaluator accounting must cover every submission"
     )

@@ -3,7 +3,8 @@
 §III bullet 2: "the optimization success of the GA depends on the design
 of the evolutionary operators; we need to take a look at the design of
 problem-specific operators." This bench sweeps selection, crossover and
-mutation variants under a fixed evaluation budget and reports the final
+mutation variants under a fixed evaluation budget — one declarative
+sweep whose merge axis varies ``engine_params`` — and reports the final
 best fitness per configuration (bayes fitness keeps the sweep cheap).
 
 Shape expectation: every variant improves on generation 0, and the
@@ -16,9 +17,7 @@ from __future__ import annotations
 import numpy as np
 from conftest import print_header, scaled
 
-from repro.circuits import load_circuit
-from repro.ec import GaConfig, GeneticAlgorithm, MuxLinkFitness
-from repro.ec.fitness import FitnessCache
+from repro.api import ExperimentSpec, SweepSpec, run_sweep
 
 _VARIANTS = [
     # (label, selection, crossover, mutation)
@@ -34,24 +33,37 @@ _VARIANTS = [
 
 
 def run_ablation() -> list:
-    circuit = load_circuit("c880_syn")
-    rows = []
-    for label, selection, crossover, mutation in _VARIANTS:
-        fitness = MuxLinkFitness(
-            circuit, predictor="bayes", attack_seed=0xAB1A, cache=FitnessCache()
-        )
-        config = GaConfig(
+    sweep = SweepSpec(
+        name="e7_operator_ablation",
+        base=ExperimentSpec(
+            circuit="c880_syn",
             key_length=16,
-            population_size=scaled(10, minimum=4),
-            generations=scaled(8, minimum=3),
-            selection=selection,
-            crossover=crossover,
-            mutation=mutation,
+            attack="muxlink",
+            attack_params={"predictor": "bayes"},
+            engine="ga",
             seed=17,
-        )
-        result = GeneticAlgorithm(config).run(circuit, fitness)
-        rows.append((label, result))
-    return rows
+            attack_seed=0xAB1A,
+        ),
+        axes={
+            "*variant": [
+                {
+                    "engine_params": {
+                        "population_size": scaled(10, minimum=4),
+                        "generations": scaled(8, minimum=3),
+                        "selection": selection,
+                        "crossover": crossover,
+                        "mutation": mutation,
+                    },
+                    "tag": label,
+                }
+                for label, selection, crossover, mutation in _VARIANTS
+            ],
+        },
+    )
+    return [
+        (run.spec.tag, run.engine_result)
+        for run in run_sweep(sweep).results
+    ]
 
 
 def test_e7_operator_ablation(benchmark):

@@ -4,7 +4,8 @@
 optimization that includes a set of distinct attacks." This bench evolves
 lockings against three genuinely conflicting objectives — MuxLink
 accuracy, depth overhead (critical-path cost), and 1−corruption (wrong
-keys must scramble outputs) — and prints the resulting Pareto front.
+keys must scramble outputs) — through the declarative runner's ``nsga2``
+engine, and prints the resulting Pareto front.
 
 Shape expectation: a non-trivial, mutually non-dominated front whose
 best-security point is clearly resilient, with visible spread along the
@@ -15,26 +16,26 @@ from __future__ import annotations
 
 from conftest import print_header, scaled
 
-from repro.circuits import load_circuit
-from repro.ec import MultiObjectiveFitness, Nsga2, Nsga2Config
+from repro.api import ExperimentSpec, run_experiment
 from repro.ec.nsga2 import dominates
 
 
 def run_nsga2():
-    circuit = load_circuit("c880_syn")
-    fitness = MultiObjectiveFitness(
-        circuit,
-        predictor="bayes",
-        objectives=("muxlink", "depth", "corruption"),
+    spec = ExperimentSpec(
+        circuit="c880_syn",
+        key_length=16,
+        attack="muxlink",
+        attack_params={"predictor": "bayes"},
+        engine="nsga2",
+        engine_params={
+            "population_size": scaled(14, minimum=6),
+            "generations": scaled(8, minimum=3),
+            "objectives": ["muxlink", "depth", "corruption"],
+        },
+        seed=23,
         attack_seed=0xE8,
     )
-    config = Nsga2Config(
-        key_length=16,
-        population_size=scaled(14, minimum=6),
-        generations=scaled(8, minimum=3),
-        seed=23,
-    )
-    return Nsga2(config).run(circuit, fitness)
+    return run_experiment(spec).engine_result
 
 
 def test_e8_multiobjective(benchmark):

@@ -1,44 +1,42 @@
 """E9 — locking overhead: area / depth / power proxies vs key size.
 
-Cost is the implicit second axis of every locking evaluation. Shape
-expectations from the construction itself: shared D-MUX inserts 2 MUXes
-per key bit and must therefore cost roughly twice the area of two_key
-D-MUX (1 MUX/bit) and clearly more than RLL's single XOR; overhead grows
-linearly in K.
+Cost is the implicit second axis of every locking evaluation. One
+attack-free sweep — schemes × key sizes with the ``overhead`` metric —
+produces the whole table. Shape expectations from the construction
+itself: shared D-MUX inserts 2 MUXes per key bit and must therefore cost
+roughly twice the area of two_key D-MUX (1 MUX/bit) and clearly more
+than RLL's single XOR; overhead grows linearly in K.
 """
 
 from __future__ import annotations
 
 from conftest import print_header
 
-from repro.circuits import load_circuit
-from repro.locking import DMuxLocking, RandomLogicLocking
-from repro.metrics import overhead_report
+from repro.api import ExperimentSpec, SweepSpec, run_sweep
 
 _KEYS = [16, 32, 64]
 
 
 def run_overhead() -> list:
-    circuit = load_circuit("c880_syn")
-    rows = []
-    for key_len in _KEYS:
-        for scheme in (
-            RandomLogicLocking(),
-            DMuxLocking("two_key"),
-            DMuxLocking("shared"),
-        ):
-            locked = scheme.lock(circuit, key_len, seed_or_rng=9)
-            rows.append(
-                overhead_report(
-                    circuit,
-                    locked.netlist,
-                    locked.key,
-                    locked.scheme,
-                    n_patterns=512,
-                    seed_or_rng=0,
-                )
-            )
-    return rows
+    sweep = SweepSpec(
+        name="e9_overhead",
+        base=ExperimentSpec(
+            circuit="c880_syn",
+            attack=None,
+            metrics=("overhead",),
+            metric_params={"overhead": {"n_patterns": 512, "seed_or_rng": 0}},
+            seed=9,
+        ),
+        axes={
+            "key_length": list(_KEYS),
+            "*scheme": [
+                {"scheme": "rll"},
+                {"scheme": "dmux", "scheme_params": {"strategy": "two_key"}},
+                {"scheme": "dmux", "scheme_params": {"strategy": "shared"}},
+            ],
+        },
+    )
+    return [run.metrics["overhead"] for run in run_sweep(sweep).results]
 
 
 def test_e9_overhead(benchmark):

@@ -12,6 +12,10 @@ Public API highlights
 - :mod:`repro.locking` — RLL and D-MUX locking schemes
 - :mod:`repro.attacks` — MuxLink, SAT attack, oracle-less baselines
 - :mod:`repro.ec` — GA / NSGA-II engines and the AutoLock pipeline
+- :mod:`repro.registry` — string-keyed plugin registries (schemes,
+  attacks, predictors, engines, metrics)
+- :mod:`repro.api` — declarative ``ExperimentSpec``/``SweepSpec`` layer:
+  ``run_experiment``/``run_sweep`` + JSONL/manifest artifacts
 """
 
 from repro._version import __version__

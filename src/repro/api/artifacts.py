@@ -1,0 +1,98 @@
+"""Run artifacts: JSONL result streams plus a reproducibility manifest.
+
+Every ``autolock run`` / ``autolock sweep`` (and any API caller passing
+``out_dir``) produces a directory containing
+
+* ``results.jsonl`` — one JSON record per experiment, streamed as runs
+  finish so a killed sweep keeps everything completed so far;
+* ``manifest.json`` — the spec(s) that produced the records, the package
+  version, counts and timing — enough to re-run the experiment bit-for-bit.
+
+Records are JSON-normalised here (dataclasses → dicts, numpy scalars →
+Python numbers, tuples → lists) so every downstream consumer reads plain
+JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+
+RESULTS_FILENAME = "results.jsonl"
+MANIFEST_FILENAME = "manifest.json"
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return json_safe(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, Path):
+        return str(value)
+    if hasattr(value, "item") and callable(value.item):  # numpy scalars
+        try:
+            return value.item()
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class RunWriter:
+    """Streams run records to ``results.jsonl`` and finalises a manifest."""
+
+    def __init__(self, out_dir: str | Path, name: str = "run") -> None:
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.name = name
+        self.results_path = self.out_dir / RESULTS_FILENAME
+        self.manifest_path = self.out_dir / MANIFEST_FILENAME
+        self._n_records = 0
+        self._started = time.time()
+        # Truncate stale results from a previous run of the same directory
+        # so the manifest's record count always matches the stream.
+        self.results_path.write_text("")
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Append one JSON record to the results stream."""
+        with self.results_path.open("a") as fh:
+            fh.write(json.dumps(json_safe(record), sort_keys=True) + "\n")
+        self._n_records += 1
+
+    def finalize(self, **manifest_fields: Any) -> Path:
+        """Write ``manifest.json`` describing the completed run."""
+        manifest = {
+            "name": self.name,
+            "version": __version__,
+            "created_unix": self._started,
+            "elapsed_s": time.time() - self._started,
+            "n_records": self._n_records,
+            "results": RESULTS_FILENAME,
+            **{k: json_safe(v) for k, v in manifest_fields.items()},
+        }
+        self.manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        return self.manifest_path
+
+
+def read_results(out_dir: str | Path) -> list[dict[str, Any]]:
+    """Load every record from an artifact directory's ``results.jsonl``."""
+    path = Path(out_dir) / RESULTS_FILENAME
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def read_manifest(out_dir: str | Path) -> dict[str, Any]:
+    """Load an artifact directory's ``manifest.json``."""
+    return json.loads((Path(out_dir) / MANIFEST_FILENAME).read_text())

@@ -1,0 +1,66 @@
+"""Registered design metrics computed on an experiment's locked circuit.
+
+Each metric is a callable ``(spec, circuit, locked, **params) -> report``
+registered under the metric registry; ``run_experiment`` calls the ones a
+spec names in ``metrics`` (with per-metric ``metric_params``) on the
+final locked design — the statically locked circuit or the engine's
+champion. Reports are dataclasses or plain dicts; the artifact writer
+JSON-normalises either.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.locking.base import LockedCircuit
+from repro.metrics import corruption_report, overhead_report
+from repro.netlist import compute_stats
+from repro.netlist.netlist import Netlist
+from repro.registry import register_metric
+from repro.sim import check_equivalence
+
+
+@register_metric("overhead")
+def overhead_metric(
+    spec, circuit: Netlist, locked: LockedCircuit,
+    n_patterns: int = 512, seed_or_rng: int = 0,
+):
+    """Area / depth / power-proxy overhead of the locking (E9's table)."""
+    return overhead_report(
+        circuit, locked.netlist, locked.key, locked.scheme,
+        n_patterns=n_patterns, seed_or_rng=seed_or_rng,
+    )
+
+
+@register_metric("corruption")
+def corruption_metric(
+    spec, circuit: Netlist, locked: LockedCircuit,
+    n_wrong_keys: int = 8, n_patterns: int = 1024, seed_or_rng: int = 1,
+):
+    """Correct-key correctness + wrong-key output corruption (E10)."""
+    return corruption_report(
+        locked, n_wrong_keys=n_wrong_keys, n_patterns=n_patterns,
+        seed_or_rng=seed_or_rng,
+    )
+
+
+@register_metric("equivalence")
+def equivalence_metric(
+    spec, circuit: Netlist, locked: LockedCircuit, seed_or_rng: int = 0,
+) -> dict[str, Any]:
+    """Functional equivalence of locked+correct-key vs the original."""
+    result = check_equivalence(
+        circuit, locked.netlist, key_right=dict(locked.key),
+        seed_or_rng=seed_or_rng,
+    )
+    return {
+        "equal": bool(result.equal),
+        "method": result.method,
+        "n_patterns": result.n_patterns,
+    }
+
+
+@register_metric("stats")
+def stats_metric(spec, circuit: Netlist, locked: LockedCircuit):
+    """Structural statistics of the locked netlist."""
+    return compute_stats(locked.netlist)

@@ -1,0 +1,385 @@
+"""The declarative experiment runner: spec in, result + artifacts out.
+
+``run_experiment`` executes one :class:`~repro.api.spec.ExperimentSpec`:
+
+* **static** (``engine=None``) — lock the circuit with the named scheme,
+  optionally run the named attack once;
+* **engine** — hand the spec to the registered search-engine adapter,
+  which evolves a locking with the attack as fitness oracle.
+
+Either way the named metrics run on the final locked design and the
+whole outcome lands in a JSON-safe record. Results are deterministic
+functions of the spec's :meth:`~repro.api.spec.ExperimentSpec.fingerprint`
+(execution knobs excluded), which enables the *experiment-level* cache:
+with a ``cache_path`` set, a finished spec's record persists under the
+``experiment`` namespace of the shared
+:class:`~repro.ec.fitness.FitnessCache` file, and re-running the same
+spec replays the record with **zero** fresh attack evaluations.
+
+``run_sweep`` expands a :class:`~repro.api.spec.SweepSpec` and runs
+every point through **one shared evaluator** (a single process pool for
+``workers >= 2``) and one shared experiment cache, writing a JSONL
+stream plus manifest via :mod:`repro.api.artifacts`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.api.artifacts import RunWriter, json_safe
+from repro.api.engines import EngineOutcome
+from repro.api.spec import ExperimentSpec, SweepSpec
+from repro.attacks.base import AttackReport
+from repro.circuits import load_circuit
+from repro.ec.evaluator import Evaluator, ProcessPoolEvaluator, SerialEvaluator
+from repro.ec.fitness import FitnessCache
+from repro.errors import SpecError
+from repro.locking.base import LockedCircuit
+from repro.registry import METRICS, create_attack, create_engine, create_scheme
+
+#: cache namespace holding finished experiment records, keyed by spec
+#: fingerprint — shares the on-disk file with the per-genotype fitness
+#: namespaces.
+EXPERIMENT_NAMESPACE = "experiment"
+
+#: record keys that vary run-to-run without changing the result; stripped
+#: by :meth:`RunResult.deterministic_record` (any ``*_s`` timing field
+#: plus cache provenance).
+_NONDETERMINISTIC_KEYS = ("from_cache",)
+
+
+def _memo_key(spec: ExperimentSpec) -> tuple:
+    # Shaped as a tuple-of-tuples so FitnessCache's JSON key round-trip
+    # (tuple(tuple(g) for g in loads(key))) reproduces it exactly.
+    return (("spec", spec.fingerprint()),)
+
+
+def _strip_nondeterministic(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {
+            k: _strip_nondeterministic(v)
+            for k, v in value.items()
+            if not (k.endswith("_s") or k in _NONDETERMINISTIC_KEYS)
+        }
+    if isinstance(value, list):
+        return [_strip_nondeterministic(v) for v in value]
+    return value
+
+
+@dataclass
+class RunResult:
+    """Everything one experiment produced.
+
+    ``record`` is the JSON-safe summary (what artifacts store);
+    ``locked`` / ``attack_report`` / ``engine_outcome`` keep the live
+    objects for programmatic consumers — they are ``None`` when the
+    result was replayed from the experiment cache.
+    """
+
+    spec: ExperimentSpec
+    record: dict[str, Any]
+    locked: LockedCircuit | None = None
+    attack_report: AttackReport | None = None
+    engine_outcome: EngineOutcome | None = None
+    metrics: dict[str, Any] = field(default_factory=dict)
+    fresh_evaluations: int = 0
+    cache_hits: int = 0
+    runtime_s: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def engine_result(self) -> Any:
+        """The engine's native result object (GaResult, AutoLockResult, …)."""
+        return self.engine_outcome.raw if self.engine_outcome else None
+
+    @property
+    def fingerprint(self) -> str:
+        return self.record["fingerprint"]
+
+    def deterministic_record(self) -> dict[str, Any]:
+        """The record minus timing/provenance — equal across identical specs."""
+        return _strip_nondeterministic(self.record)
+
+    def rebuild_locked(self) -> LockedCircuit:
+        """The final locked design, rebuilt from the record if needed.
+
+        Cache-replayed results carry no live objects; engine records
+        store the champion genotype and static specs are deterministic,
+        so the design can always be reconstructed.
+        """
+        if self.locked is not None:
+            return self.locked
+        from repro.api.engines import genotype_from_record
+        from repro.locking.genome_lock import lock_with_genes
+
+        circuit = load_circuit(self.spec.circuit)
+        engine_record = self.record.get("engine") or {}
+        genes = genotype_from_record(engine_record.get("best_genotype"))
+        if genes is not None:
+            self.locked = lock_with_genes(circuit, genes)
+        elif self.spec.engine is None:
+            scheme = create_scheme(self.spec.scheme, **self.spec.scheme_params)
+            self.locked = scheme.lock(
+                circuit, self.spec.key_length, seed_or_rng=self.spec.seed
+            )
+        else:
+            raise SpecError(
+                "cached engine record carries no champion genotype; "
+                "re-run without the experiment cache"
+            )
+        return self.locked
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        parts = [f"[{self.fingerprint[:8]}]", self.spec.describe()]
+        attack = self.record.get("attack")
+        if attack:
+            parts.append(f"acc={attack['accuracy']:.3f}")
+        engine = self.record.get("engine")
+        if engine and "best_fitness" in engine:
+            parts.append(f"best={engine['best_fitness']:.3f}")
+        if engine and "accuracy_drop_pp" in engine:
+            parts.append(f"drop={engine['accuracy_drop_pp']:+.1f}pp")
+        parts.append(f"fresh={self.fresh_evaluations}")
+        if self.from_cache:
+            parts.append("(cached)")
+        return " ".join(parts)
+
+
+def _attack_record(report: AttackReport) -> dict[str, Any]:
+    return {
+        "name": report.attack,
+        "accuracy": report.accuracy,
+        "precision": report.precision,
+        "coverage": report.score.coverage,
+        "runtime_s": report.runtime_s,
+        "extra": {
+            k: v
+            for k, v in report.extra.items()
+            if isinstance(v, (int, float, str, bool))
+        },
+    }
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    evaluator: Evaluator | None = None,
+    experiment_cache: FitnessCache | None = None,
+    out_dir: str | Path | None = None,
+) -> RunResult:
+    """Execute one experiment spec; see the module docstring.
+
+    ``evaluator`` injects a shared population evaluator (sweeps pass one
+    pool for all points; the caller owns its lifetime). ``experiment_cache``
+    injects a shared experiment-record memo; by default one is opened on
+    ``spec.cache_path`` when set. ``out_dir`` additionally writes
+    ``results.jsonl`` + ``manifest.json`` artifacts there.
+    """
+    spec.validate()
+    started = time.perf_counter()
+
+    memo = experiment_cache
+    if memo is None and spec.cache_path is not None:
+        memo = FitnessCache(path=spec.cache_path, namespace=EXPERIMENT_NAMESPACE)
+
+    key = _memo_key(spec)
+    if memo is not None:
+        cached = memo.get(key)
+        if cached is not None:
+            record = dict(cached)
+            record["from_cache"] = True
+            record["fresh_evaluations"] = 0
+            record["runtime_s"] = time.perf_counter() - started
+            # The fingerprint excludes the cosmetic tag, so the cached
+            # record may carry another label for this experiment.
+            record["tag"] = spec.tag
+            result = RunResult(
+                spec=spec,
+                record=record,
+                # Replayed metrics are the record's JSON dicts (the live
+                # report objects are gone), keeping run.metrics[...] usable.
+                metrics=dict(record.get("metrics") or {}),
+                fresh_evaluations=0,
+                cache_hits=int(cached.get("cache_hits", 0)),
+                runtime_s=record["runtime_s"],
+                from_cache=True,
+            )
+            _write_single_run_artifacts(result, out_dir)
+            return result
+
+    circuit = load_circuit(spec.circuit)
+    attack_report: AttackReport | None = None
+    outcome: EngineOutcome | None = None
+    fresh = hits = 0
+
+    if spec.engine is not None:
+        adapter = create_engine(spec.engine)
+        outcome = adapter.run(spec, circuit, evaluator=evaluator)
+        locked = outcome.locked
+        fresh, hits = outcome.fresh_evaluations, outcome.cache_hits
+    else:
+        scheme = create_scheme(spec.scheme, **spec.scheme_params)
+        locked = scheme.lock(circuit, spec.key_length, seed_or_rng=spec.seed)
+        if spec.attack is not None:
+            attack = create_attack(spec.attack, **spec.attack_params)
+            attack_seed = (
+                spec.attack_seed if spec.attack_seed is not None else spec.seed
+            )
+            attack_report = attack.run(locked, seed_or_rng=attack_seed)
+            fresh = 1
+
+    metrics: dict[str, Any] = {}
+    if spec.metrics:
+        if locked is None:
+            raise SpecError(
+                f"engine {spec.engine!r} produced no locked design; "
+                f"cannot compute metrics {list(spec.metrics)}"
+            )
+        for name in spec.metrics:
+            metric = METRICS.get(name)
+            metrics[name] = metric(
+                spec, circuit, locked, **spec.metric_params.get(name, {})
+            )
+
+    runtime_s = time.perf_counter() - started
+    record: dict[str, Any] = {
+        "fingerprint": spec.fingerprint(),
+        "tag": spec.tag,
+        "kind": "engine" if spec.engine else "static",
+        "spec": spec.deterministic_dict(),
+        "attack": _attack_record(attack_report) if attack_report else None,
+        "engine": dict(outcome.record, engine=outcome.engine) if outcome else None,
+        "metrics": {name: json_safe(value) for name, value in metrics.items()},
+        "fresh_evaluations": fresh,
+        "cache_hits": hits,
+        "runtime_s": runtime_s,
+        "from_cache": False,
+    }
+    result = RunResult(
+        spec=spec,
+        record=record,
+        locked=locked,
+        attack_report=attack_report,
+        engine_outcome=outcome,
+        metrics=metrics,
+        fresh_evaluations=fresh,
+        cache_hits=hits,
+        runtime_s=runtime_s,
+    )
+    if memo is not None:
+        memo.put(key, json_safe(result.deterministic_record()))
+    _write_single_run_artifacts(result, out_dir)
+    return result
+
+
+def _write_single_run_artifacts(
+    result: RunResult, out_dir: str | Path | None
+) -> None:
+    if out_dir is None:
+        return
+    writer = RunWriter(out_dir, name=f"run-{result.fingerprint[:8]}")
+    writer.write(result.record)
+    manifest = writer.finalize(
+        spec=result.spec.to_dict(),
+        fingerprint=result.fingerprint,
+        fresh_evaluations=result.fresh_evaluations,
+    )
+    result.record["manifest"] = str(manifest)
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep plus artifact locations."""
+
+    sweep: SweepSpec
+    results: list[RunResult]
+    results_path: Path | None = None
+    manifest_path: Path | None = None
+
+    @property
+    def fresh_evaluations(self) -> int:
+        return sum(r.fresh_evaluations for r in self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits for r in self.results)
+
+    @property
+    def n_from_cache(self) -> int:
+        return sum(1 for r in self.results if r.from_cache)
+
+    def records(self) -> list[dict[str, Any]]:
+        return [r.record for r in self.results]
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    *,
+    out_dir: str | Path | None = None,
+    evaluator: Evaluator | None = None,
+) -> SweepResult:
+    """Expand ``sweep`` and run every point through one shared backend.
+
+    All points share a single population evaluator — one process pool
+    when the sweep asks for ``workers >= 2`` — and, when ``cache_path``
+    is set, one on-disk cache file carrying both per-genotype fitness
+    namespaces and finished experiment records. Re-running a sweep with a
+    warm cache replays every unchanged point with zero fresh attack
+    evaluations. Points execute sequentially (parallelism lives inside
+    the population evaluation, where the attack work is).
+    """
+    specs = sweep.expand()
+    for spec in specs:
+        spec.validate()
+
+    workers = sweep.workers if sweep.workers is not None else sweep.base.workers
+    owns_evaluator = evaluator is None
+    if evaluator is None:
+        # Only engine points feed populations to the evaluator; a purely
+        # static sweep should not pay process-pool startup for nothing.
+        needs_pool = (
+            workers and workers >= 2
+            and any(spec.engine is not None for spec in specs)
+        )
+        evaluator = ProcessPoolEvaluator(workers) if needs_pool else SerialEvaluator()
+    memo = (
+        FitnessCache(path=sweep.cache_path, namespace=EXPERIMENT_NAMESPACE)
+        if sweep.cache_path is not None
+        else None
+    )
+    writer = RunWriter(out_dir, name=sweep.name) if out_dir is not None else None
+
+    results: list[RunResult] = []
+    try:
+        for spec in specs:
+            result = run_experiment(
+                spec, evaluator=evaluator, experiment_cache=memo
+            )
+            results.append(result)
+            if writer is not None:
+                writer.write(result.record)
+    finally:
+        if owns_evaluator:
+            evaluator.close()
+
+    manifest_path = results_path = None
+    if writer is not None:
+        manifest_path = writer.finalize(
+            sweep=sweep.to_dict(),
+            n_points=len(specs),
+            workers=workers,
+            cache_path=sweep.cache_path,
+            fresh_evaluations=sum(r.fresh_evaluations for r in results),
+            replayed_from_cache=sum(1 for r in results if r.from_cache),
+        )
+        results_path = writer.results_path
+    return SweepResult(
+        sweep=sweep,
+        results=results,
+        results_path=results_path,
+        manifest_path=manifest_path,
+    )

@@ -15,26 +15,24 @@ Ground truth is touched only by the scoring step inherited from
 from __future__ import annotations
 
 import time
-from typing import Callable
 
 import numpy as np
 
 from repro.attacks.base import Attack, AttackReport
-from repro.attacks.muxlink.bayes import BayesLinkPredictor
-from repro.attacks.muxlink.gnn import GnnLinkPredictor
+# Importing the predictor modules self-registers them in the predictor
+# registry, so a bare `import repro.attacks.muxlink.attack` still sees
+# all three backends.
+import repro.attacks.muxlink.bayes  # noqa: F401
+import repro.attacks.muxlink.gnn  # noqa: F401
+import repro.attacks.muxlink.mlp_predictor  # noqa: F401
 from repro.attacks.muxlink.graph import extract_observed
-from repro.attacks.muxlink.mlp_predictor import MlpLinkPredictor
 from repro.errors import AttackError
 from repro.locking.base import LockedCircuit
+from repro.registry import PREDICTORS, register_attack
 from repro.utils.rng import derive_rng
 
-_PREDICTORS: dict[str, Callable[[], object]] = {
-    "bayes": BayesLinkPredictor,
-    "mlp": MlpLinkPredictor,
-    "gnn": GnnLinkPredictor,
-}
 
-
+@register_attack("muxlink")
 class MuxLinkAttack(Attack):
     """Link-prediction attack on MUX-based locking.
 
@@ -58,9 +56,10 @@ class MuxLinkAttack(Attack):
         ensemble: int = 1,
         **predictor_kwargs,
     ) -> None:
-        if predictor not in _PREDICTORS:
+        if predictor not in PREDICTORS:
             raise AttackError(
-                f"unknown predictor {predictor!r}; choose from {sorted(_PREDICTORS)}"
+                f"unknown predictor {predictor!r}; "
+                f"choose from {PREDICTORS.available()}"
             )
         if ensemble < 1:
             raise AttackError(f"ensemble size must be >= 1, got {ensemble}")
@@ -87,7 +86,9 @@ class MuxLinkAttack(Attack):
         n_links = 0
         final_losses: list[float] = []
         for _member in range(self.ensemble):
-            predictor = _PREDICTORS[self.predictor_name](**self.predictor_kwargs)
+            predictor = PREDICTORS.create(
+                self.predictor_name, **self.predictor_kwargs
+            )
             predictor.fit(graph, rng)
             history = getattr(predictor, "train_history", None)
             if history:

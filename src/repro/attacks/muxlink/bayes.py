@@ -14,6 +14,7 @@ import numpy as np
 from repro.attacks.muxlink.features import N_TYPES, type_index
 from repro.attacks.muxlink.graph import ObservedGraph
 from repro.errors import AttackError
+from repro.registry import register_predictor
 
 #: level-delta histogram bins: Δ <= -2, -1, 0, 1, 2, 3, >= 4
 _N_DELTA_BINS = 7
@@ -23,6 +24,7 @@ def _delta_bin(delta: int) -> int:
     return int(np.clip(delta + 2, 0, _N_DELTA_BINS - 1))
 
 
+@register_predictor("bayes")
 class BayesLinkPredictor:
     """Log-likelihood scorer over (driver type → consumer type) statistics."""
 

@@ -23,6 +23,7 @@ from repro.attacks.muxlink.graph import ObservedGraph
 from repro.attacks.muxlink.subgraph import EnclosingSubgraph, extract_enclosing_subgraph
 from repro.attacks.muxlink.features import make_training_pairs
 from repro.errors import AttackError
+from repro.registry import register_predictor
 from repro.ml.layers import Linear, Param, ReLU
 from repro.ml.losses import bce_with_logits
 from repro.ml.network import Sequential
@@ -89,6 +90,7 @@ class _GraphConvStack:
         return list(self.weights)
 
 
+@register_predictor("gnn")
 class GnnLinkPredictor:
     """Enclosing-subgraph GNN with centre+mean readout and MLP head."""
 

@@ -19,6 +19,7 @@ from repro.attacks.muxlink.features import (
 )
 from repro.attacks.muxlink.graph import ObservedGraph
 from repro.errors import AttackError
+from repro.registry import register_predictor
 from repro.ml.layers import Linear, ReLU
 from repro.ml.losses import bce_with_logits
 from repro.ml.network import Sequential, fit
@@ -26,6 +27,7 @@ from repro.ml.optim import Adam
 from repro.utils.rng import derive_rng, spawn_seeds
 
 
+@register_predictor("mlp")
 class MlpLinkPredictor:
     """Two-hidden-layer MLP over link feature vectors."""
 

@@ -6,9 +6,11 @@ import time
 
 from repro.attacks.base import Attack, AttackReport
 from repro.locking.base import LockedCircuit
+from repro.registry import register_attack
 from repro.utils.rng import derive_rng
 
 
+@register_attack("random")
 class RandomGuessAttack(Attack):
     """Guess every key bit uniformly at random."""
 

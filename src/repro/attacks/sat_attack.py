@@ -21,12 +21,14 @@ import time
 from repro.attacks.base import Attack, AttackReport
 from repro.errors import AttackError
 from repro.locking.base import LockedCircuit
+from repro.registry import register_attack
 from repro.sat.cdcl import IncrementalSolver
 from repro.sat.tseitin import encode_netlist
 from repro.sim.equivalence import check_equivalence
 from repro.sim.simulator import oracle_fn
 
 
+@register_attack("sat")
 class SatAttack(Attack):
     """DIP-based oracle-guided key recovery."""
 

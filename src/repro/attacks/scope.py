@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.attacks.base import Attack, AttackReport
 from repro.locking.base import LockedCircuit
+from repro.registry import register_attack
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 
@@ -128,6 +129,7 @@ def propagate_constant(netlist: Netlist, assignments: dict[str, int]) -> Simplif
     return SimplificationScore(n_constant, n_wire, n_reduced)
 
 
+@register_attack("scope")
 class ScopeAttack(Attack):
     """Per-key-bit constant-propagation attack (oracle-less)."""
 

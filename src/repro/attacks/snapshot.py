@@ -27,6 +27,7 @@ import numpy as np
 from repro.attacks.base import Attack, AttackReport
 from repro.attacks.muxlink.features import N_TYPES, type_index
 from repro.locking.base import LockedCircuit
+from repro.registry import register_attack
 from repro.locking.rll import RandomLogicLocking
 from repro.ml.layers import Linear, ReLU
 from repro.ml.losses import bce_with_logits
@@ -92,6 +93,7 @@ def _find_xor_keygates(netlist: Netlist) -> dict[str, str]:
     return sites
 
 
+@register_attack("snapshot")
 class SnapShotAttack(Attack):
     """Locality-classification attack on XOR/XNOR RLL (GSS scenario)."""
 

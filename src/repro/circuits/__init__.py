@@ -10,13 +10,19 @@ same name always yields the same netlist.
 
 from repro.circuits.generator import CircuitProfile, generate_circuit
 from repro.circuits.profiles import ISCAS85_PROFILES
-from repro.circuits.registry import available_circuits, load_circuit, synthetic_suite
+from repro.circuits.registry import (
+    available_circuits,
+    known_circuit,
+    load_circuit,
+    synthetic_suite,
+)
 
 __all__ = [
     "CircuitProfile",
     "generate_circuit",
     "ISCAS85_PROFILES",
     "available_circuits",
+    "known_circuit",
     "load_circuit",
     "synthetic_suite",
 ]

@@ -24,6 +24,15 @@ def available_circuits() -> list[str]:
     return ["c17"] + sorted(ISCAS85_PROFILES)
 
 
+def known_circuit(name: str) -> bool:
+    """True if :func:`load_circuit` accepts ``name`` (without loading it)."""
+    return (
+        name == "c17"
+        or name in ISCAS85_PROFILES
+        or _RAND_RE.match(name) is not None
+    )
+
+
 @functools.lru_cache(maxsize=64)
 def _load_cached(name: str) -> Netlist:
     if name == "c17":

@@ -2,15 +2,22 @@
 
 Subcommands
 -----------
-``lock``     lock a benchmark circuit with RLL or D-MUX and save it
-``attack``   run an attack against a saved locked design
+``lock``     lock a benchmark circuit with any registered scheme and save it
+``attack``   run any registered attack against a saved locked design
 ``evolve``   run the full AutoLock pipeline on a benchmark circuit
+``run``      execute a declarative experiment spec (JSON) end to end
+``sweep``    expand and execute a sweep spec (JSON) over one shared backend
+``plugins``  list every registered scheme / attack / predictor / engine / metric
 ``info``     print statistics of a benchmark circuit or the whole suite
+
+All component names are resolved through :mod:`repro.registry`, so a
+newly registered plugin is immediately usable from every subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro._version import __version__
@@ -28,14 +35,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_lock(args: argparse.Namespace) -> int:
     from repro.circuits import load_circuit
+    from repro.errors import RegistryError
     from repro.io import save_locked_design
-    from repro.locking import DMuxLocking, RandomLogicLocking
+    from repro.registry import SCHEMES, available_schemes, create_scheme
 
+    scheme_params = {}
+    if args.strategy is not None:
+        scheme_params["strategy"] = args.strategy
+    try:
+        scheme = create_scheme(args.scheme, **scheme_params)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if args.scheme not in SCHEMES:  # name problem, not a parameter problem
+            print(f"available schemes: {', '.join(available_schemes())}",
+                  file=sys.stderr)
+        return 2
     circuit = load_circuit(args.circuit)
-    if args.scheme == "rll":
-        scheme = RandomLogicLocking()
-    else:
-        scheme = DMuxLocking(strategy=args.strategy)
     locked = scheme.lock(circuit, args.key_length, seed_or_rng=args.seed)
     sidecar = save_locked_design(locked, args.output)
     print(f"locked {args.circuit} with {locked.scheme} K={args.key_length}")
@@ -44,26 +59,24 @@ def _cmd_lock(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    from repro.attacks import (
-        MuxLinkAttack,
-        RandomGuessAttack,
-        SatAttack,
-        ScopeAttack,
-        SnapShotAttack,
-    )
+    from repro.errors import RegistryError
     from repro.io import load_locked_design
+    from repro.registry import ATTACKS, available_attacks, create_attack
 
+    attack_params = {}
+    if args.predictor is not None:
+        attack_params["predictor"] = args.predictor
+    if args.ensemble is not None:
+        attack_params["ensemble"] = args.ensemble
+    try:
+        attack = create_attack(args.attack, **attack_params)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if args.attack not in ATTACKS:  # name problem, not a parameter problem
+            print(f"available attacks: {', '.join(available_attacks())}",
+                  file=sys.stderr)
+        return 2
     locked = load_locked_design(args.design)
-    if args.attack == "muxlink":
-        attack = MuxLinkAttack(predictor=args.predictor, ensemble=args.ensemble)
-    elif args.attack == "scope":
-        attack = ScopeAttack()
-    elif args.attack == "snapshot":
-        attack = SnapShotAttack()
-    elif args.attack == "sat":
-        attack = SatAttack()
-    else:
-        attack = RandomGuessAttack()
     report = attack.run(locked, seed_or_rng=args.seed)
     print(report.as_row())
     for k, v in sorted(report.extra.items()):
@@ -72,22 +85,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_evolve(args: argparse.Namespace) -> int:
-    from repro.circuits import load_circuit
-    from repro.ec import AutoLock, AutoLockConfig
-    from repro.io import save_locked_design
-
-    circuit = load_circuit(args.circuit)
-    config = AutoLockConfig(
-        key_length=args.key_length,
-        population_size=args.population,
-        generations=args.generations,
-        fitness_predictor=args.predictor,
-        seed=args.seed,
-        workers=args.workers,
-        cache_path=args.cache,
-    )
-    result = AutoLock(config).run(circuit)
+def _print_autolock_result(result, cache_path) -> None:
     print(result.summary())
     for stats in result.ga.history:
         print(
@@ -99,11 +97,114 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     fresh = result.fitness_evaluations + result.report_evaluations
     hits = result.cache_hits + result.report_cache_hits
     print(f"attack evaluations: {fresh} fresh, {hits} cache hits")
-    if args.cache:
-        print(f"fitness cache: {args.cache}")
+    if cache_path:
+        print(f"fitness cache: {cache_path}")
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.api import ExperimentSpec, run_experiment
+    from repro.io import save_locked_design
+
+    spec = ExperimentSpec(
+        circuit=args.circuit,
+        key_length=args.key_length,
+        attack="muxlink",
+        attack_params={"predictor": args.predictor},
+        engine="autolock",
+        engine_params={
+            "population_size": args.population,
+            "generations": args.generations,
+        },
+        seed=args.seed,
+        # Historical CLI contract: workers < 2 (incl. 0/negative) = serial.
+        workers=max(1, args.workers),
+        cache_path=args.cache,
+    )
+    result = run_experiment(spec)
+    if result.from_cache:
+        rec = result.record["engine"]
+        print(
+            f"AutoLock on {args.circuit} (replayed from experiment cache): "
+            f"baseline MuxLink accuracy {rec['baseline_accuracy']:.3f} -> "
+            f"evolved {rec['evolved_accuracy']:.3f} "
+            f"(drop {rec['accuracy_drop_pp']:+.1f} pp)"
+        )
+        print("attack evaluations: 0 fresh (record served by experiment cache)")
+    else:
+        _print_autolock_result(result.engine_result, args.cache)
     if args.output:
-        sidecar = save_locked_design(result.locked, args.output)
+        sidecar = save_locked_design(result.rebuild_locked(), args.output)
         print(f"saved: {sidecar}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import ExperimentSpec, run_experiment
+    from repro.errors import ReproError
+
+    try:
+        spec = ExperimentSpec.from_file(args.spec)
+        if args.workers is not None:
+            spec = spec.with_updates(workers=args.workers)
+        if args.cache is not None:
+            spec = spec.with_updates(cache_path=args.cache)
+        result = run_experiment(spec, out_dir=args.out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.describe())
+    for name, value in result.metrics.items():
+        row = getattr(value, "as_row", None)
+        print(f"  {name}: {row() if callable(row) else value}")
+    if args.out:
+        print(f"artifacts: {args.out}/results.jsonl + manifest.json")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import SweepSpec, run_sweep
+    from repro.errors import ReproError
+
+    try:
+        sweep = SweepSpec.from_file(args.spec)
+        overrides = {}
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        if args.cache is not None:
+            overrides["cache_path"] = args.cache
+        if overrides:
+            sweep = dataclasses.replace(sweep, **overrides)
+        result = run_sweep(sweep, out_dir=args.out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for run in result.results:
+        print(run.describe())
+    print(
+        f"sweep {sweep.name}: {len(result.results)} points, "
+        f"{result.fresh_evaluations} fresh attack evaluations, "
+        f"{result.n_from_cache} replayed from cache"
+    )
+    if args.out:
+        print(f"artifacts: {result.results_path} + {result.manifest_path}")
+    return 0
+
+
+def _cmd_plugins(args: argparse.Namespace) -> int:
+    from repro import registry
+
+    for title, reg in (
+        ("schemes", registry.SCHEMES),
+        ("attacks", registry.ATTACKS),
+        ("predictors", registry.PREDICTORS),
+        ("engines", registry.ENGINES),
+        ("metrics", registry.METRICS),
+    ):
+        print(f"{title}:")
+        for name in reg.available():
+            factory = reg.get(name)
+            target = getattr(factory, "__qualname__", repr(factory))
+            print(f"  {name:<22} {target}")
     return 0
 
 
@@ -122,8 +223,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lock = sub.add_parser("lock", help="lock a benchmark circuit")
     p_lock.add_argument("circuit")
-    p_lock.add_argument("--scheme", choices=["rll", "dmux"], default="dmux")
-    p_lock.add_argument("--strategy", choices=["shared", "two_key"], default="shared")
+    p_lock.add_argument(
+        "--scheme", default="dmux",
+        help="registered locking scheme (see `autolock plugins`)",
+    )
+    p_lock.add_argument(
+        "--strategy", choices=["shared", "two_key"], default=None,
+        help="D-MUX key-wiring strategy (dmux scheme only)",
+    )
     p_lock.add_argument("--key-length", type=int, default=32)
     p_lock.add_argument("--seed", type=int, default=0)
     p_lock.add_argument("--output", default="locked_designs")
@@ -132,14 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack = sub.add_parser("attack", help="attack a saved locked design")
     p_attack.add_argument("design", help="path to the .lock.json sidecar")
     p_attack.add_argument(
-        "--attack",
-        choices=["muxlink", "scope", "snapshot", "sat", "random"],
-        default="muxlink",
+        "--attack", default="muxlink",
+        help="registered attack (see `autolock plugins`)",
     )
     p_attack.add_argument(
-        "--predictor", choices=["bayes", "mlp", "gnn"], default="mlp"
+        "--predictor", choices=["bayes", "mlp", "gnn"], default=None,
+        help="MuxLink predictor backend (muxlink attack only)",
     )
-    p_attack.add_argument("--ensemble", type=int, default=1)
+    p_attack.add_argument("--ensemble", type=int, default=None)
     p_attack.add_argument("--seed", type=int, default=0)
     p_attack.set_defaults(func=_cmd_attack)
 
@@ -167,6 +274,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_evolve.add_argument("--output", default=None)
     p_evolve.set_defaults(func=_cmd_evolve)
+
+    p_run = sub.add_parser(
+        "run", help="execute a declarative experiment spec (JSON file)"
+    )
+    p_run.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    p_run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write results.jsonl + manifest.json artifacts to DIR",
+    )
+    p_run.add_argument("--workers", type=int, default=None)
+    p_run.add_argument("--cache", default=None, metavar="PATH")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="execute a sweep spec (JSON file) over a shared pool"
+    )
+    p_sweep.add_argument("spec", help="path to a SweepSpec JSON file")
+    p_sweep.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write results.jsonl + manifest.json artifacts to DIR",
+    )
+    p_sweep.add_argument("--workers", type=int, default=None)
+    p_sweep.add_argument("--cache", default=None, metavar="PATH")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_plugins = sub.add_parser(
+        "plugins", help="list every registered plugin by registry"
+    )
+    p_plugins.set_defaults(func=_cmd_plugins)
     return parser
 
 

@@ -35,9 +35,11 @@ from repro.ec.evaluator import (
     SerialEvaluator,
 )
 from repro.ec.fitness import (
+    DEFAULT_ATTACK_SEED,
     FitnessCache,
     MultiObjectiveFitness,
     MuxLinkFitness,
+    SpecFitness,
     cache_namespace,
 )
 from repro.ec.ga import GaConfig, GaResult, GenerationStats, GeneticAlgorithm
@@ -65,9 +67,11 @@ __all__ = [
     "CROSSOVERS",
     "MUTATIONS",
     "SELECTIONS",
+    "DEFAULT_ATTACK_SEED",
     "FitnessCache",
     "MuxLinkFitness",
     "MultiObjectiveFitness",
+    "SpecFitness",
     "cache_namespace",
     "BatchStats",
     "Evaluator",

@@ -114,8 +114,15 @@ class AutoLock:
     def __init__(self, config: AutoLockConfig | None = None) -> None:
         self.config = config if config is not None else AutoLockConfig()
 
-    def run(self, original: Netlist) -> AutoLockResult:
-        """Run the full pipeline on ``original``."""
+    def run(
+        self, original: Netlist, evaluator: Evaluator | None = None
+    ) -> AutoLockResult:
+        """Run the full pipeline on ``original``.
+
+        ``evaluator`` injects an externally-owned population evaluator
+        (sweeps share one process pool across many pipeline runs); when
+        omitted, one is built from ``config.workers`` and closed here.
+        """
         cfg = self.config
         started = time.perf_counter()
         rng = derive_rng(cfg.seed)
@@ -145,11 +152,13 @@ class AutoLock:
             attack_seed=seeds[1],
             cache=cache,
         )
-        evaluator: Evaluator = (
-            ProcessPoolEvaluator(cfg.workers)
-            if cfg.workers and cfg.workers >= 2
-            else SerialEvaluator()
-        )
+        owns_evaluator = evaluator is None
+        if evaluator is None:
+            evaluator = (
+                ProcessPoolEvaluator(cfg.workers)
+                if cfg.workers and cfg.workers >= 2
+                else SerialEvaluator()
+            )
         ga = GeneticAlgorithm(cfg.ga_config())
         try:
             result = ga.run(
@@ -157,7 +166,8 @@ class AutoLock:
                 evaluator=evaluator,
             )
         finally:
-            evaluator.close()
+            if owns_evaluator:
+                evaluator.close()
 
         # Step 3: decode champion genotype -> locked netlist.
         locked = lock_with_genes(original, result.best_genotype)

@@ -29,6 +29,12 @@ from repro.locking.dmux import MuxGene
 from repro.locking.genome_lock import lock_with_genes
 from repro.metrics.overhead import area_estimate
 from repro.netlist.netlist import Netlist
+from repro.registry import create_attack
+
+#: default attack seed for attack-backed fitness; fixed so fitness is a
+#: deterministic function of the genotype and cache entries are shared
+#: between the classic and the spec-driven APIs.
+DEFAULT_ATTACK_SEED = 0xA070
 
 
 class FitnessFunction(Protocol):
@@ -182,31 +188,30 @@ class FitnessCache:
         return len(self.store)
 
 
-class MuxLinkFitness:
-    """Scalar fitness: MuxLink key-prediction accuracy (lower = fitter).
+class SpecFitness:
+    """Scalar fitness = attack accuracy of the decoded phenotype.
 
-    Parameters mirror :class:`~repro.attacks.muxlink.attack.MuxLinkAttack`;
-    the default (single MLP, modest epochs) is the speed/selectivity
-    trade-off used inside GA loops. ``attack_seed`` fixes the attack's
-    training randomness so fitness is a deterministic function of the
-    genotype.
+    The attack is resolved through the attack registry, so *any*
+    registered attack whose report exposes ``accuracy`` can drive the
+    evolutionary loop. Deterministic per genotype (fixed ``attack_seed``)
+    and cache-fronted; plain attributes keep it picklable for the
+    :class:`~repro.ec.evaluator.ProcessPoolEvaluator` worker path.
     """
 
     def __init__(
         self,
         original: Netlist,
-        predictor: str = "mlp",
-        ensemble: int = 1,
-        attack_seed: int = 0xA070,
+        attack: str = "muxlink",
+        attack_params: dict | None = None,
+        attack_seed: int = DEFAULT_ATTACK_SEED,
         cache: FitnessCache | None = None,
-        **predictor_kwargs,
     ) -> None:
         self.original = original
+        self.attack_name = attack
+        self.attack_params = dict(attack_params or {})
         self.attack_seed = attack_seed
         self.cache = cache if cache is not None else FitnessCache()
-        self._attack = MuxLinkAttack(
-            predictor=predictor, ensemble=ensemble, **predictor_kwargs
-        )
+        self._attack = create_attack(attack, **self.attack_params)
         self.evaluations = 0
 
     def __call__(self, genes: Sequence[MuxGene]) -> float:
@@ -220,6 +225,37 @@ class MuxLinkFitness:
         value = float(report.accuracy)
         self.cache.put(key, value)
         return value
+
+
+class MuxLinkFitness(SpecFitness):
+    """Scalar fitness: MuxLink key-prediction accuracy (lower = fitter).
+
+    The classic interface — parameters mirror
+    :class:`~repro.attacks.muxlink.attack.MuxLinkAttack`; the default
+    (single MLP, modest epochs) is the speed/selectivity trade-off used
+    inside GA loops. Implemented as :class:`SpecFitness` pinned to the
+    ``muxlink`` attack.
+    """
+
+    def __init__(
+        self,
+        original: Netlist,
+        predictor: str = "mlp",
+        ensemble: int = 1,
+        attack_seed: int = DEFAULT_ATTACK_SEED,
+        cache: FitnessCache | None = None,
+        **predictor_kwargs,
+    ) -> None:
+        super().__init__(
+            original,
+            attack="muxlink",
+            attack_params={
+                "predictor": predictor, "ensemble": ensemble,
+                **predictor_kwargs,
+            },
+            attack_seed=attack_seed,
+            cache=cache,
+        )
 
 
 class MultiObjectiveFitness:

@@ -44,3 +44,13 @@ class AttackError(ReproError):
 
 class EvolutionError(ReproError):
     """The evolutionary engine was misconfigured or a genotype is invalid."""
+
+
+class RegistryError(ReproError):
+    """A plugin registry lookup or registration failed (unknown name,
+    duplicate registration, bad constructor parameters)."""
+
+
+class SpecError(ReproError):
+    """An experiment/sweep specification is malformed (unknown field,
+    invalid value, inconsistent configuration)."""

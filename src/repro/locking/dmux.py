@@ -39,6 +39,7 @@ from repro.locking.base import LockedCircuit, LockingScheme
 from repro.locking.key import Key
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
+from repro.registry import register_scheme
 from repro.utils.rng import derive_rng
 
 
@@ -299,6 +300,7 @@ def sample_gene(
 # ----------------------------------------------------------------------
 # The scheme
 # ----------------------------------------------------------------------
+@register_scheme("dmux")
 class DMuxLocking(LockingScheme):
     """D-MUX locking with ``"shared"`` or ``"two_key"`` key wiring."""
 

@@ -19,6 +19,7 @@ from repro.locking.base import LockedCircuit, LockingScheme
 from repro.locking.key import Key
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
+from repro.registry import register_scheme
 from repro.utils.rng import derive_rng
 
 
@@ -41,6 +42,7 @@ class XorInsertion:
         return self.rewired_pins
 
 
+@register_scheme("rll")
 class RandomLogicLocking(LockingScheme):
     """EPIC-style XOR/XNOR random logic locking."""
 

@@ -1,0 +1,221 @@
+"""String-keyed plugin registries for the experiment layer.
+
+Every extensible component family — locking schemes, attacks, MuxLink
+link predictors, search engines, design metrics — registers its concrete
+implementations here under a short name. The declarative experiment API
+(:mod:`repro.api`) and the CLI resolve those names at run time, so adding
+a scenario means registering one class, not editing dispatch chains in a
+dozen entry points::
+
+    from repro.registry import register_attack, create_attack
+
+    @register_attack("my_attack")
+    class MyAttack(Attack):
+        ...
+
+    attack = create_attack("my_attack", budget=100)
+
+Registries populate lazily: the first lookup imports the provider
+modules, whose import-time decorators self-register the built-ins. This
+keeps :mod:`repro.registry` import-cheap (no heavy numpy/ML imports) and
+free of circular imports — providers import this module, never the other
+way around at module scope.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Iterator, TypeVar
+
+from repro.errors import RegistryError
+
+T = TypeVar("T")
+
+
+class Registry:
+    """A lazily-populated mapping from names to factories.
+
+    ``providers`` are module paths imported on first access; importing
+    them triggers the ``@register_*`` decorators that fill the registry.
+    Entries are factories (classes or callables); :meth:`create`
+    instantiates one with keyword arguments.
+    """
+
+    def __init__(self, kind: str, providers: tuple[str, ...] = ()) -> None:
+        self.kind = kind
+        self._providers = providers
+        self._entries: dict[str, Callable[..., object]] = {}
+        self._populated = False
+
+    # -- registration ---------------------------------------------------
+    def register(
+        self, name: str, factory: Callable[..., T] | None = None, *,
+        replace: bool = False,
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Re-registering an existing name raises unless ``replace=True``
+        (the escape hatch tests and downstream plugins use to override a
+        built-in).
+        """
+
+        def _add(f: Callable[..., T]) -> Callable[..., T]:
+            if not replace and name in self._entries:
+                raise RegistryError(
+                    f"{self.kind} {name!r} is already registered "
+                    f"({self._entries[name]!r}); pass replace=True to override"
+                )
+            self._entries[name] = f
+            return f
+
+        if factory is None:
+            return _add
+        return _add(factory)
+
+    # -- lookup ---------------------------------------------------------
+    def _populate(self) -> None:
+        if self._populated:
+            return
+        # Flag first so a provider that consults the registry mid-import
+        # cannot recurse; cleared on failure so the real ImportError
+        # resurfaces on every lookup instead of "available: (none)".
+        self._populated = True
+        try:
+            for module in self._providers:
+                importlib.import_module(module)
+        except BaseException:
+            self._populated = False
+            raise
+
+    def get(self, name: str) -> Callable[..., object]:
+        """Return the factory registered under ``name``."""
+        self._populate()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; "
+                f"available: {', '.join(self.available()) or '(none)'}"
+            ) from None
+
+    def create(self, name: str, **kwargs) -> object:
+        """Instantiate the ``name`` entry with ``kwargs``.
+
+        A ``TypeError`` from the factory signature (unknown parameter,
+        missing argument) is re-raised as :class:`RegistryError` so
+        spec-file typos surface with the registry context attached.
+        """
+        factory = self.get(name)
+        try:
+            return factory(**kwargs)
+        except TypeError as exc:
+            raise RegistryError(
+                f"cannot construct {self.kind} {name!r} "
+                f"with parameters {sorted(kwargs)}: {exc}"
+            ) from exc
+
+    def available(self) -> list[str]:
+        """Sorted names accepted by :meth:`get` / :meth:`create`."""
+        self._populate()
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        self._populate()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        self._populate()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self.kind!r}, {len(self._entries)} entries)"
+
+
+#: Locking schemes: name -> LockingScheme factory.
+SCHEMES = Registry("locking scheme", providers=("repro.locking",))
+#: Attacks: name -> Attack factory.
+ATTACKS = Registry("attack", providers=("repro.attacks",))
+#: MuxLink link predictors: name -> predictor factory.
+PREDICTORS = Registry("link predictor", providers=("repro.attacks.muxlink",))
+#: Search engines driving run_experiment: name -> EngineAdapter factory.
+ENGINES = Registry("search engine", providers=("repro.api.engines",))
+#: Design metrics computed on a locked circuit: name -> metric callable.
+METRICS = Registry("metric", providers=("repro.api.metrics",))
+
+register_scheme = SCHEMES.register
+register_attack = ATTACKS.register
+register_predictor = PREDICTORS.register
+register_engine = ENGINES.register
+register_metric = METRICS.register
+
+
+def create_scheme(name: str, **kwargs):
+    """Instantiate the locking scheme registered under ``name``."""
+    return SCHEMES.create(name, **kwargs)
+
+
+def create_attack(name: str, **kwargs):
+    """Instantiate the attack registered under ``name``."""
+    return ATTACKS.create(name, **kwargs)
+
+
+def create_predictor(name: str, **kwargs):
+    """Instantiate the MuxLink link predictor registered under ``name``."""
+    return PREDICTORS.create(name, **kwargs)
+
+
+def create_engine(name: str, **kwargs):
+    """Instantiate the search-engine adapter registered under ``name``."""
+    return ENGINES.create(name, **kwargs)
+
+
+def available_schemes() -> list[str]:
+    """Registered locking-scheme names."""
+    return SCHEMES.available()
+
+
+def available_attacks() -> list[str]:
+    """Registered attack names."""
+    return ATTACKS.available()
+
+
+def available_predictors() -> list[str]:
+    """Registered link-predictor names."""
+    return PREDICTORS.available()
+
+
+def available_engines() -> list[str]:
+    """Registered search-engine names."""
+    return ENGINES.available()
+
+
+def available_metrics() -> list[str]:
+    """Registered metric names."""
+    return METRICS.available()
+
+
+__all__ = [
+    "Registry",
+    "SCHEMES",
+    "ATTACKS",
+    "PREDICTORS",
+    "ENGINES",
+    "METRICS",
+    "register_scheme",
+    "register_attack",
+    "register_predictor",
+    "register_engine",
+    "register_metric",
+    "create_scheme",
+    "create_attack",
+    "create_predictor",
+    "create_engine",
+    "available_schemes",
+    "available_attacks",
+    "available_predictors",
+    "available_engines",
+    "available_metrics",
+]

@@ -1,0 +1,341 @@
+"""run_experiment / run_sweep: determinism, caching, artifacts, engines."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    SweepSpec,
+    read_manifest,
+    read_results,
+    run_experiment,
+    run_sweep,
+)
+from repro.ec.evaluator import SerialEvaluator
+
+
+def c17_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        circuit="c17",
+        key_length=2,
+        scheme="dmux",
+        attack="muxlink",
+        attack_params={"predictor": "bayes"},
+        metrics=("overhead", "equivalence"),
+        seed=1,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+# -------------------------------------------------------------- static
+def test_static_run_on_c17_is_seed_deterministic():
+    a = run_experiment(c17_spec())
+    b = run_experiment(c17_spec())
+    assert a.deterministic_record() == b.deterministic_record()
+    assert a.attack_report.accuracy == b.attack_report.accuracy
+    assert a.locked.key == b.locked.key
+    # A different seed must be allowed to produce a different locking.
+    c = run_experiment(c17_spec(seed=2))
+    assert c.fingerprint != a.fingerprint
+
+
+def test_static_run_shapes():
+    result = run_experiment(c17_spec())
+    assert result.record["kind"] == "static"
+    assert result.fresh_evaluations == 1
+    assert 0.0 <= result.record["attack"]["accuracy"] <= 1.0
+    assert result.metrics["equivalence"]["equal"] is True
+    assert result.record["metrics"]["overhead"]["key_length"] == 2
+    # The record is pure JSON.
+    json.dumps(result.record)
+
+
+def test_lock_only_run_without_attack():
+    result = run_experiment(c17_spec(attack=None, metrics=("stats",)))
+    assert result.attack_report is None
+    assert result.fresh_evaluations == 0
+    assert result.record["attack"] is None
+
+
+# -------------------------------------------------------------- engines
+def test_engine_run_deterministic_and_rebuildable():
+    spec = c17_spec(
+        circuit="rand_100_9",
+        key_length=4,
+        metrics=(),
+        engine="ga",
+        engine_params={"population_size": 4, "generations": 2},
+        seed=2,
+    )
+    a = run_experiment(spec)
+    b = run_experiment(spec)
+    assert a.deterministic_record() == b.deterministic_record()
+    assert a.engine_result.best_fitness == b.engine_result.best_fitness
+    assert a.record["engine"]["best_genotype"], "record must carry champion"
+    # locked is reconstructible from the record alone
+    rebuilt = b.rebuild_locked()
+    assert rebuilt.key.bits == a.locked.key.bits
+
+
+@pytest.mark.parametrize("engine,params", [
+    ("random_search", {"evaluations": 6}),
+    ("hill_climber", {"evaluations": 6}),
+    ("simulated_annealing", {"evaluations": 6}),
+])
+def test_trajectory_engines_run(engine, params):
+    spec = c17_spec(
+        circuit="rand_100_9", key_length=4, metrics=(),
+        engine=engine, engine_params=params, seed=3,
+    )
+    result = run_experiment(spec)
+    rec = result.record["engine"]
+    assert rec["evaluations"] == 6
+    assert 0.0 <= rec["best_fitness"] <= rec["initial_best"] <= 1.0
+    assert result.engine_outcome.engine == engine
+
+
+def test_nsga2_engine_run():
+    spec = c17_spec(
+        circuit="rand_150_5", key_length=4, metrics=(),
+        engine="nsga2",
+        engine_params={
+            "population_size": 4, "generations": 2,
+            "objectives": ["muxlink", "depth"],
+        },
+        seed=5,
+    )
+    result = run_experiment(spec)
+    rec = result.record["engine"]
+    assert rec["front_size"] == len(rec["front_objectives"]) >= 1
+    assert all(len(o) == 2 for o in rec["front_objectives"])
+
+
+def test_autolock_engine_rejects_foreign_attack():
+    from repro.errors import SpecError
+
+    spec = c17_spec(
+        circuit="rand_100_9", key_length=4, metrics=(),
+        attack="scope", engine="autolock",
+    )
+    with pytest.raises(SpecError, match="MuxLink-driven pipeline"):
+        run_experiment(spec)
+
+
+def test_autolock_engine_rejects_inert_knobs():
+    """Knobs the pipeline would silently ignore are errors, not no-ops —
+    every spec field feeds the fingerprint, so an inert knob would cause
+    false experiment-cache misses."""
+    from repro.errors import SpecError
+
+    base = dict(
+        circuit="rand_100_9", key_length=4, metrics=(), engine="autolock",
+        engine_params={"population_size": 4, "generations": 2},
+    )
+    with pytest.raises(SpecError, match="attack_seed would have no effect"):
+        run_experiment(c17_spec(**base, attack_seed=99))
+    with pytest.raises(SpecError, match="no.*effect on this engine"):
+        run_experiment(
+            c17_spec(**base, attack_params={"predictor": "bayes", "epochs": 5})
+        )
+
+
+def test_nsga2_engine_forwards_predictor_params():
+    """attack_params beyond the predictor name reach the oracle instead
+    of being silently dropped (a bogus one must surface as an error)."""
+    from repro.errors import RegistryError
+
+    spec = c17_spec(
+        circuit="rand_150_5", key_length=4, metrics=(),
+        attack_params={"predictor": "bayes", "bogus_param": 42},
+        engine="nsga2",
+        engine_params={"population_size": 4, "generations": 1,
+                       "objectives": ["muxlink", "depth"]},
+    )
+    with pytest.raises(RegistryError, match="bogus_param"):
+        run_experiment(spec)
+
+
+def test_unknown_engine_params_rejected():
+    from repro.errors import SpecError
+
+    spec = c17_spec(
+        circuit="rand_100_9", key_length=4, metrics=(),
+        engine="ga", engine_params={"poulation_size": 4},
+    )
+    with pytest.raises(SpecError, match="unknown ga engine_params"):
+        run_experiment(spec)
+
+
+# ----------------------------------------------------- cache + artifacts
+def test_experiment_cache_replays_with_zero_fresh_evaluations(tmp_path):
+    cache = str(tmp_path / "cache.json")
+    spec = c17_spec(cache_path=cache)
+    first = run_experiment(spec)
+    assert first.fresh_evaluations == 1 and not first.from_cache
+    second = run_experiment(spec)
+    assert second.from_cache
+    assert second.fresh_evaluations == 0
+    assert (
+        second.deterministic_record()["attack"]
+        == first.deterministic_record()["attack"]
+    )
+    # Metric data survives the replay (as the record's JSON dicts).
+    assert second.metrics["equivalence"]["equal"] is True
+    assert second.metrics["overhead"]["key_length"] == 2
+    # A relabelled but otherwise identical spec replays the same record,
+    # re-tagged for this run.
+    relabelled = run_experiment(spec.with_updates(tag="again"))
+    assert relabelled.from_cache and relabelled.record["tag"] == "again"
+
+
+def test_run_artifacts_written_and_parse(tmp_path):
+    out = tmp_path / "out"
+    result = run_experiment(c17_spec(), out_dir=out)
+    records = read_results(out)
+    manifest = read_manifest(out)
+    assert len(records) == 1
+    assert records[0]["fingerprint"] == result.fingerprint
+    assert manifest["n_records"] == 1
+    assert manifest["spec"]["circuit"] == "c17"
+
+
+def test_sweep_shares_one_evaluator_and_warm_cache(tmp_path):
+    cache = str(tmp_path / "cache.json")
+    sweep = SweepSpec(
+        name="two_point",
+        base=c17_spec(metrics=()),
+        axes={"key_length": [2, 3]},
+        cache_path=cache,
+    )
+    shared = SerialEvaluator()
+    cold = run_sweep(sweep, out_dir=tmp_path / "cold", evaluator=shared)
+    assert cold.fresh_evaluations == 2
+    assert cold.n_from_cache == 0
+    # Both points went through the single injected evaluator.
+    warm = run_sweep(sweep, out_dir=tmp_path / "warm")
+    assert warm.fresh_evaluations == 0, "warm cache must replay every point"
+    assert warm.n_from_cache == 2
+
+    records = read_results(tmp_path / "warm")
+    manifest = read_manifest(tmp_path / "warm")
+    assert len(records) == 2
+    assert all(r["fresh_evaluations"] == 0 for r in records)
+    assert manifest["n_points"] == 2
+    assert manifest["replayed_from_cache"] == 2
+
+
+def test_sweep_repeated_identical_point_reuses_record(tmp_path):
+    """A duplicated grid point is served from the shared cache in-sweep."""
+    cache = str(tmp_path / "cache.json")
+    sweep = SweepSpec(
+        base=c17_spec(metrics=()),
+        axes={"*dup": [{"tag": "first"}, {"tag": "first"}]},
+        cache_path=cache,
+    )
+    # Identical deterministic fields -> identical fingerprint -> second
+    # point replays the first point's record with zero fresh attacks.
+    result = run_sweep(sweep)
+    assert result.fresh_evaluations == 1
+    assert result.n_from_cache == 1
+
+
+def test_engine_sweep_routes_all_points_through_one_evaluator(tmp_path):
+    """Both sweep points' populations flow through the single shared
+    evaluator instance — the seam the process pool plugs into."""
+    sweep = SweepSpec(
+        base=ExperimentSpec(
+            circuit="rand_100_9", key_length=4,
+            attack="muxlink", attack_params={"predictor": "bayes"},
+            engine="ga",
+            engine_params={"population_size": 4, "generations": 2},
+        ),
+        axes={"seed": [0, 1]},
+    )
+    shared = SerialEvaluator()
+    result = run_sweep(sweep, evaluator=shared)
+    assert len(result.results) == 2
+    # 2 points x (4 genomes x 2 generations) each, all through `shared`.
+    assert shared.total.size == 2 * 4 * 2
+
+
+def test_engine_sweep_warm_cache_zero_fresh(tmp_path):
+    cache = str(tmp_path / "cache.json")
+    spec = c17_spec(
+        circuit="rand_100_9", key_length=4, metrics=(),
+        engine="ga", engine_params={"population_size": 4, "generations": 2},
+        seed=2, cache_path=cache,
+    )
+    first = run_experiment(spec)
+    assert first.fresh_evaluations > 0
+    second = run_experiment(spec)
+    assert second.from_cache and second.fresh_evaluations == 0
+
+
+# ------------------------------------------------------------------ CLI
+def test_cli_run_subcommand(tmp_path, capsys):
+    from repro.cli import main
+
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(c17_spec().to_json())
+    out = tmp_path / "artifacts"
+    assert main(["run", str(spec_path), "--out", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "acc=" in captured
+    assert read_manifest(out)["n_records"] == 1
+
+
+def test_cli_run_rejects_bad_spec(tmp_path, capsys):
+    from repro.cli import main
+
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({"circuit": "c17", "attack": "laser"}))
+    assert main(["run", str(spec_path)]) == 2
+    assert "unknown attack" in capsys.readouterr().err
+
+
+def test_cli_run_rejects_malformed_json_and_missing_file(tmp_path, capsys):
+    from repro.cli import main
+
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    assert main(["run", str(broken)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+    assert main(["run", str(tmp_path / "missing.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+    assert main(["sweep", str(broken)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_cli_sweep_subcommand(tmp_path, capsys):
+    from repro.cli import main
+
+    sweep_path = tmp_path / "sweep.json"
+    sweep = SweepSpec(
+        name="cli_demo",
+        base=c17_spec(metrics=()),
+        axes={"key_length": [2, 3]},
+        cache_path=str(tmp_path / "cache.json"),
+    )
+    sweep_path.write_text(sweep.to_json())
+    out = tmp_path / "artifacts"
+    assert main(["sweep", str(sweep_path), "--out", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "2 points" in captured
+    assert read_manifest(out)["n_records"] == 2
+    # Re-running with the warm shared cache reports zero fresh evaluations.
+    assert main(["sweep", str(sweep_path)]) == 0
+    assert "0 fresh attack evaluations" in capsys.readouterr().out
+
+
+def test_cli_plugins_lists_registries(capsys):
+    from repro.cli import main
+
+    assert main(["plugins"]) == 0
+    out = capsys.readouterr().out
+    for needle in ("schemes:", "attacks:", "predictors:", "engines:",
+                   "metrics:", "muxlink", "nsga2"):
+        assert needle in out

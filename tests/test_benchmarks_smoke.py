@@ -69,14 +69,17 @@ def _load_bench(module_name: str):
 @pytest.mark.bench_smoke
 @pytest.mark.parametrize("module_name,entry", BENCH_ENTRY_POINTS)
 def test_bench_entry_point_smoke(module_name, entry, monkeypatch):
+    import repro.api.runner as api_runner
     from repro.circuits import load_circuit
 
     monkeypatch.setenv("REPRO_BENCH_SCALE", "0.1")
     tiny = load_circuit(TINY_CIRCUIT)
     module = _load_bench(module_name)
 
-    # Every bench pulls circuits through its module-level ``load_circuit``;
-    # route all of them to the tiny stand-in.
+    # The benches route circuit resolution through the declarative
+    # runner's single load point; a few also load directly for staging.
+    # Route every path to the tiny stand-in.
+    monkeypatch.setattr(api_runner, "load_circuit", lambda name: tiny.copy())
     if hasattr(module, "load_circuit"):
         monkeypatch.setattr(
             module, "load_circuit", lambda name: tiny.copy(), raising=True

@@ -93,6 +93,38 @@ def test_cli_lock_and_attack(tmp_path, capsys):
     assert "n_dips" in out
 
 
+def test_cli_attack_unknown_name_exits_nonzero(tmp_path, capsys):
+    """No silent RandomGuess fallback: unknown attacks fail loudly."""
+    assert main([
+        "lock", "rand_80_3", "--scheme", "dmux", "--key-length", "6",
+        "--seed", "5", "--output", str(tmp_path),
+    ]) == 0
+    capsys.readouterr()
+    sidecar = next(tmp_path.glob("*.lock.json"))
+
+    assert main(["attack", str(sidecar), "--attack", "mystery"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown attack 'mystery'" in err
+    assert "muxlink" in err and "random" in err and "sat" in err
+
+
+def test_cli_evolve_workers_zero_means_serial(capsys):
+    """Historical contract: --workers < 2 (incl. 0) runs serially."""
+    assert main([
+        "evolve", "rand_100_9", "--key-length", "4", "--population", "4",
+        "--generations", "2", "--predictor", "bayes", "--seed", "2",
+        "--workers", "0",
+    ]) == 0
+    assert "AutoLock on rand_100_9" in capsys.readouterr().out
+
+
+def test_cli_lock_unknown_scheme_exits_nonzero(capsys):
+    assert main(["lock", "rand_80_3", "--scheme", "alien"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown locking scheme 'alien'" in err
+    assert "dmux" in err and "rll" in err
+
+
 def test_cli_evolve(tmp_path, capsys):
     assert main([
         "evolve", "rand_100_9", "--key-length", "4", "--population", "4",
