@@ -111,6 +111,7 @@ def _fitness_cache(spec, circuit: Netlist, attack_seed: int) -> FitnessCache:
     """Persistent, namespaced fitness cache for a spec-driven engine."""
     return FitnessCache(
         path=spec.cache_path,
+        backend=spec.store,
         namespace=cache_namespace(
             circuit.name,
             role="fitness",
@@ -237,10 +238,11 @@ class AutoLockEngine:
         params.setdefault("fitness_ensemble", attack_params.get("ensemble", 1))
         config = _config_from_params(
             AutoLockConfig, params,
-            reserved=("key_length", "seed", "workers", "cache_path"),
+            reserved=("key_length", "seed", "workers", "cache_path", "store"),
             kind="autolock",
             key_length=spec.key_length, seed=spec.seed,
             workers=spec.workers, cache_path=spec.cache_path,
+            store=spec.store,
         )
         result = AutoLock(config).run(circuit, evaluator=evaluator)
         fresh = result.fitness_evaluations + result.report_evaluations
@@ -308,6 +310,7 @@ class Nsga2Engine:
             attack_seed=attack_seed,
             cache=FitnessCache(
                 path=spec.cache_path,
+                backend=spec.store,
                 namespace=cache_namespace(
                     circuit.name,
                     role="nsga2",

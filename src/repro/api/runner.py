@@ -47,8 +47,17 @@ EXPERIMENT_NAMESPACE = "experiment"
 
 #: record keys that vary run-to-run without changing the result; stripped
 #: by :meth:`RunResult.deterministic_record` (any ``*_s`` timing field
-#: plus cache provenance).
-_NONDETERMINISTIC_KEYS = ("from_cache",)
+#: plus cache provenance and cache-warmth accounting — hit/miss/fresh
+#: counters depend on which sibling runs already populated the shared
+#: store, not on what the experiment computed).
+_NONDETERMINISTIC_KEYS = (
+    "from_cache",
+    "fresh_evaluations",
+    "cache_hits",
+    "cache_misses",
+    "fitness_evaluations",
+    "report_evaluations",
+)
 
 
 def _memo_key(spec: ExperimentSpec) -> tuple:
@@ -184,7 +193,11 @@ def run_experiment(
 
     memo = experiment_cache
     if memo is None and spec.cache_path is not None:
-        memo = FitnessCache(path=spec.cache_path, namespace=EXPERIMENT_NAMESPACE)
+        memo = FitnessCache(
+            path=spec.cache_path,
+            backend=spec.store,
+            namespace=EXPERIMENT_NAMESPACE,
+        )
 
     key = _memo_key(spec)
     if memo is not None:
@@ -192,7 +205,10 @@ def run_experiment(
         if cached is not None:
             record = dict(cached)
             record["from_cache"] = True
+            # Stored records are stripped of warmth counters (see
+            # _NONDETERMINISTIC_KEYS); a replay costs nothing by definition.
             record["fresh_evaluations"] = 0
+            record["cache_hits"] = 0
             record["runtime_s"] = time.perf_counter() - started
             # The fingerprint excludes the cosmetic tag, so the cached
             # record may carry another label for this experiment.
@@ -204,7 +220,7 @@ def run_experiment(
                 # report objects are gone), keeping run.metrics[...] usable.
                 metrics=dict(record.get("metrics") or {}),
                 fresh_evaluations=0,
-                cache_hits=int(cached.get("cache_hits", 0)),
+                cache_hits=0,
                 runtime_s=record["runtime_s"],
                 from_cache=True,
             )
@@ -293,15 +309,25 @@ def _write_single_run_artifacts(
 
 @dataclass
 class SweepResult:
-    """All points of one sweep plus artifact locations."""
+    """All points of one sweep plus artifact locations.
+
+    For a distributed run, ``distributed`` carries the scheduler's
+    accounting (worker count, queue counts, fresh evaluations measured at
+    the workers) — the per-point ``results`` are collected by replaying
+    the store's records, so their own counters say nothing about what the
+    workers actually computed.
+    """
 
     sweep: SweepSpec
     results: list[RunResult]
     results_path: Path | None = None
     manifest_path: Path | None = None
+    distributed: dict[str, Any] | None = None
 
     @property
     def fresh_evaluations(self) -> int:
+        if self.distributed is not None:
+            return int(self.distributed.get("fresh_evaluations", 0))
         return sum(r.fresh_evaluations for r in self.results)
 
     @property
@@ -310,6 +336,8 @@ class SweepResult:
 
     @property
     def n_from_cache(self) -> int:
+        if self.distributed is not None:
+            return int(self.distributed.get("replayed_from_cache", 0))
         return sum(1 for r in self.results if r.from_cache)
 
     def records(self) -> list[dict[str, Any]]:
@@ -321,6 +349,8 @@ def run_sweep(
     *,
     out_dir: str | Path | None = None,
     evaluator: Evaluator | None = None,
+    distributed: int | None = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Expand ``sweep`` and run every point through one shared backend.
 
@@ -330,8 +360,22 @@ def run_sweep(
     namespaces and finished experiment records. Re-running a sweep with a
     warm cache replays every unchanged point with zero fresh attack
     evaluations. Points execute sequentially (parallelism lives inside
-    the population evaluation, where the attack work is).
+    the population evaluation, where the attack work is) — unless
+    ``distributed`` asks for *point-level* parallelism: ``distributed=N``
+    schedules every point onto the store's ``sweep_points`` work queue
+    and runs N local worker processes against it (see
+    :mod:`repro.dist`). Distribution needs a queue-capable store
+    (SQLite); ``resume=False`` reschedules previously finished queue rows
+    instead of trusting them (their cached experiment records still
+    replay — only the bookkeeping restarts).
     """
+    if distributed is not None and distributed >= 1:
+        from repro.dist import SweepScheduler
+
+        return SweepScheduler(sweep, resume=resume).run(
+            workers=distributed, out_dir=out_dir
+        )
+
     specs = sweep.expand()
     for spec in specs:
         spec.validate()
@@ -347,7 +391,11 @@ def run_sweep(
         )
         evaluator = ProcessPoolEvaluator(workers) if needs_pool else SerialEvaluator()
     memo = (
-        FitnessCache(path=sweep.cache_path, namespace=EXPERIMENT_NAMESPACE)
+        FitnessCache(
+            path=sweep.cache_path,
+            backend=sweep.store,
+            namespace=EXPERIMENT_NAMESPACE,
+        )
         if sweep.cache_path is not None
         else None
     )

@@ -27,13 +27,13 @@ from typing import Any, Mapping
 
 from repro.circuits import known_circuit
 from repro.errors import SpecError
-from repro.registry import ATTACKS, ENGINES, METRICS, SCHEMES
+from repro.registry import ATTACKS, ENGINES, METRICS, SCHEMES, STORES
 
 #: spec fields excluded from the fingerprint: execution knobs steer *how*
 #: an experiment runs and ``tag`` only labels it — neither can change
 #: what it computes, so differently-labelled identical specs share
 #: cached experiment records.
-_EXECUTION_FIELDS = ("workers", "cache_path", "tag")
+_EXECUTION_FIELDS = ("workers", "cache_path", "store", "tag")
 
 
 def _read_spec_file(path: str | Path, kind: str) -> str:
@@ -88,6 +88,10 @@ class ExperimentSpec:
     attack_seed: int | None = None
     workers: int = 1
     cache_path: str | None = None
+    #: store backend name for ``cache_path`` (``repro.registry.STORES``);
+    #: ``None`` infers from the path suffix (``.sqlite``/``.db`` -> sqlite,
+    #: anything else -> the historical JSON file).
+    store: str | None = None
     tag: str = ""
 
     def __post_init__(self) -> None:
@@ -126,6 +130,8 @@ class ExperimentSpec:
         if self.workers < 1:
             raise SpecError(f"workers must be >= 1, got {self.workers}")
         SCHEMES.get(self.scheme)
+        if self.store is not None:
+            STORES.get(self.store)
         if self.attack is not None:
             ATTACKS.get(self.attack)
         if self.engine is not None:
@@ -245,6 +251,8 @@ class SweepSpec:
     name: str = "sweep"
     workers: int | None = None
     cache_path: str | None = None
+    #: store backend for ``cache_path`` (see ``ExperimentSpec.store``).
+    store: str | None = None
 
     def __post_init__(self) -> None:
         axes = {}
@@ -277,6 +285,8 @@ class SweepSpec:
             shared["workers"] = self.workers
         if self.cache_path is not None:
             shared["cache_path"] = self.cache_path
+        if self.store is not None:
+            shared["store"] = self.store
 
         specs: list[ExperimentSpec] = []
         keys = list(self.axes)
@@ -336,6 +346,25 @@ class SweepSpec:
             spec.validate()
         return self
 
+    # -- identity -------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hex digest of the sweep's result-determining content.
+
+        Covers the base spec's deterministic fields plus the axes — not
+        the name, worker counts, or store location — so the same sweep
+        resumed from a different machine or with a different worker count
+        lands on the same ``sweep_points`` queue rows.
+        """
+        canonical = json.dumps(
+            {
+                "base": self.base.deterministic_dict(),
+                "axes": {k: list(v) for k, v in self.axes.items()},
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
     # -- serialisation --------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -344,13 +373,16 @@ class SweepSpec:
             "axes": {k: list(v) for k, v in self.axes.items()},
             "workers": self.workers,
             "cache_path": self.cache_path,
+            "store": self.store,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
         if not isinstance(data, Mapping):
             raise SpecError(f"sweep spec must be a JSON object, got {data!r}")
-        unknown = set(data) - {"name", "base", "axes", "workers", "cache_path"}
+        unknown = set(data) - {
+            "name", "base", "axes", "workers", "cache_path", "store",
+        }
         if unknown:
             raise SpecError(f"unknown SweepSpec fields: {sorted(unknown)}")
         if "base" not in data:
@@ -361,6 +393,7 @@ class SweepSpec:
             name=data.get("name", "sweep"),
             workers=data.get("workers"),
             cache_path=data.get("cache_path"),
+            store=data.get("store"),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

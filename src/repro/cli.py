@@ -6,8 +6,14 @@ Subcommands
 ``attack``   run any registered attack against a saved locked design
 ``evolve``   run the full AutoLock pipeline on a benchmark circuit
 ``run``      execute a declarative experiment spec (JSON) end to end
-``sweep``    expand and execute a sweep spec (JSON) over one shared backend
-``plugins``  list every registered scheme / attack / predictor / engine / metric
+``sweep``    expand and execute a sweep spec (JSON) over one shared backend;
+             ``--workers-distributed N`` fans the *points* out across N
+             worker processes cooperating through a SQLite store
+``worker``   join a distributed sweep as one worker process (any machine
+             that can reach the store file)
+``store``    inspect a shared experiment store (``store status``)
+``plugins``  list every registered scheme / attack / predictor / engine /
+             metric / store backend
 ``info``     print statistics of a benchmark circuit or the whole suite
 
 All component names are resolved through :mod:`repro.registry`, so a
@@ -148,6 +154,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             spec = spec.with_updates(workers=args.workers)
         if args.cache is not None:
             spec = spec.with_updates(cache_path=args.cache)
+        if args.store is not None:
+            spec = spec.with_updates(store=args.store)
         result = run_experiment(spec, out_dir=args.out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -172,9 +180,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             overrides["workers"] = args.workers
         if args.cache is not None:
             overrides["cache_path"] = args.cache
+        if args.store is not None:
+            overrides["store"] = args.store
         if overrides:
             sweep = dataclasses.replace(sweep, **overrides)
-        result = run_sweep(sweep, out_dir=args.out)
+        result = run_sweep(
+            sweep,
+            out_dir=args.out,
+            distributed=args.workers_distributed,
+            resume=args.resume,
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -185,8 +200,100 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{result.fresh_evaluations} fresh attack evaluations, "
         f"{result.n_from_cache} replayed from cache"
     )
+    if result.distributed:
+        dist = result.distributed
+        print(
+            f"  distributed: {dist.get('workers', 0)} workers, "
+            f"sweep_id={dist.get('sweep_id')}, "
+            f"{dist.get('completed_this_run', 0)} completed this run"
+        )
     if args.out:
         print(f"artifacts: {result.results_path} + {result.manifest_path}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.api import SweepSpec
+    from repro.dist import SweepScheduler, Worker
+    from repro.errors import ReproError
+
+    try:
+        if args.spec is not None:
+            sweep = SweepSpec.from_file(args.spec)
+            overrides = {}
+            if args.store_path is not None:
+                overrides["cache_path"] = args.store_path
+            if args.backend is not None:
+                overrides["store"] = args.backend
+            if overrides:
+                sweep = dataclasses.replace(sweep, **overrides)
+            # Idempotent: rows already enqueued (by the scheduler or a
+            # sibling worker) are left exactly as they are.
+            scheduler = SweepScheduler(sweep)
+            scheduler.enqueue()
+            store_path, backend = sweep.cache_path, sweep.store
+            sweep_id = scheduler.sweep_id
+        else:
+            if args.store_path is None or args.sweep_id is None:
+                print(
+                    "error: worker needs either --spec SWEEP.json or both "
+                    "a store path and --sweep-id",
+                    file=sys.stderr,
+                )
+                return 2
+            store_path, backend = args.store_path, args.backend
+            sweep_id = args.sweep_id
+        worker = Worker(
+            store_path=str(store_path),
+            sweep_id=sweep_id,
+            backend=backend,
+            lease_ttl=args.ttl,
+            max_points=args.max_points,
+        )
+        print(f"worker {worker.worker_id} joining sweep {sweep_id} on {store_path}")
+        report = worker.run()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0
+
+
+def _cmd_store_status(args: argparse.Namespace) -> int:
+    import json as _json
+    import sqlite3
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.store import open_store
+
+    if not Path(args.path).exists():
+        # Opening a sqlite store creates the file; a read-only inspection
+        # of a typo'd path must not fabricate an empty database.
+        print(f"error: no store at {args.path!r}", file=sys.stderr)
+        return 2
+    try:
+        store = open_store(args.path, args.backend)
+        status = store.status()
+    except (ReproError, sqlite3.DatabaseError) as exc:
+        print(f"error: cannot read store {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"store: {status['path']} ({status['backend']})")
+    print(f"entries: {status['entries']}")
+    for namespace, count in status["namespaces"].items():
+        print(f"  {namespace:<60} {count}")
+    if status["sweeps"]:
+        print("sweeps:")
+        for sweep_id, counts in status["sweeps"].items():
+            summary = ", ".join(
+                f"{state}={n}" for state, n in sorted(counts.items())
+            )
+            print(f"  {sweep_id:<20} {summary}")
+    else:
+        print("sweeps: (none)")
     return 0
 
 
@@ -199,6 +306,7 @@ def _cmd_plugins(args: argparse.Namespace) -> int:
         ("predictors", registry.PREDICTORS),
         ("engines", registry.ENGINES),
         ("metrics", registry.METRICS),
+        ("stores", registry.STORES),
     ):
         print(f"{title}:")
         for name in reg.available():
@@ -285,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--workers", type=int, default=None)
     p_run.add_argument("--cache", default=None, metavar="PATH")
+    p_run.add_argument(
+        "--store", default=None, metavar="BACKEND",
+        help="store backend for the cache path (default: inferred from "
+        "the path suffix)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser(
@@ -297,7 +410,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--workers", type=int, default=None)
     p_sweep.add_argument("--cache", default=None, metavar="PATH")
+    p_sweep.add_argument(
+        "--store", default=None, metavar="BACKEND",
+        help="store backend for the cache path (see `autolock plugins`; "
+        "default: inferred from the path suffix, .sqlite/.db -> sqlite)",
+    )
+    p_sweep.add_argument(
+        "--workers-distributed", type=int, default=None, metavar="N",
+        help="distribute sweep *points* across N local worker processes "
+        "cooperating through the store's work queue (needs a sqlite store)",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true", default=False,
+        help="keep the store's existing queue bookkeeping for this sweep "
+        "(attempt counts, done markers); without it the queue rows are "
+        "rescheduled — finished experiment records replay from the store "
+        "either way, with zero fresh attack evaluations",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a distributed sweep as one worker process",
+        description="Claim and run sweep points from a shared store until "
+        "the queue drains. Point it either at a sweep spec (--spec, which "
+        "also enqueues idempotently) or at an existing queue "
+        "(STORE --sweep-id ID). Run any number of these, on any machine "
+        "that can reach the store file.",
+    )
+    p_worker.add_argument(
+        "store_path", nargs="?", default=None,
+        help="path to the shared store (e.g. sweep.sqlite)",
+    )
+    p_worker.add_argument(
+        "--spec", default=None, metavar="SWEEP.json",
+        help="sweep spec to join; enqueues missing points, derives the "
+        "sweep id, and uses the spec's cache_path unless STORE is given",
+    )
+    p_worker.add_argument(
+        "--sweep-id", default=None, metavar="ID",
+        help="sweep fingerprint to serve (printed by `autolock sweep` and "
+        "`autolock store status`)",
+    )
+    p_worker.add_argument(
+        "--backend", default=None, metavar="BACKEND",
+        help="store backend name (default: inferred from the path suffix)",
+    )
+    p_worker.add_argument(
+        "--ttl", type=float, default=60.0,
+        help="lease seconds per claimed point (heartbeat renews it)",
+    )
+    p_worker.add_argument(
+        "--max-points", type=int, default=None,
+        help="exit after completing this many points (default: drain)",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
+
+    p_store = sub.add_parser(
+        "store", help="inspect a shared experiment store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_status = store_sub.add_parser(
+        "status", help="namespaces, entry counts, and sweep queue states"
+    )
+    p_status.add_argument("path", help="store file path")
+    p_status.add_argument(
+        "--backend", default=None, metavar="BACKEND",
+        help="store backend name (default: inferred from the path suffix)",
+    )
+    p_status.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_status.set_defaults(func=_cmd_store_status)
 
     p_plugins = sub.add_parser(
         "plugins", help="list every registered plugin by registry"

@@ -1,0 +1,265 @@
+"""Sweep scheduler: expand a sweep into the work queue, drive workers.
+
+The :class:`SweepScheduler` owns the driver side of a distributed sweep:
+
+* **enqueue** — expand the :class:`~repro.api.spec.SweepSpec` into
+  ``sweep_points`` rows keyed by ``(sweep fingerprint, point
+  fingerprint)``. Rows are inserted idempotently, so re-running a killed
+  sweep re-offers only what is not already done; points whose experiment
+  record already sits in the store are pre-completed without ever
+  reaching a worker (zero recomputation on resume);
+* **run** — spawn N local worker processes (each a
+  :class:`~repro.dist.worker.Worker` loop) against the shared store and
+  wait for the queue to drain, releasing the leases of any worker that
+  died so a follow-up run never waits out a dead lease;
+* **collect** — replay every point's record from the store, in the
+  sweep's deterministic expansion order, into the same
+  :class:`~repro.api.runner.SweepResult` + artifacts a serial
+  ``run_sweep`` produces. Records are byte-identical to a serial run
+  after nondeterministic-field stripping, because workers run the same
+  ``run_experiment`` against the same spec fingerprints.
+
+Workers do not have to be local children: any process on any machine
+that can open the store file may run ``autolock worker`` against the
+same ``sweep_id`` and the scheduler will happily share the queue with
+it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.api.artifacts import RunWriter
+from repro.api.runner import (
+    EXPERIMENT_NAMESPACE,
+    RunResult,
+    SweepResult,
+    _memo_key,
+    run_experiment,
+)
+from repro.api.spec import ExperimentSpec, SweepSpec
+from repro.ec.fitness import FitnessCache, _key_to_str
+from repro.errors import StoreError
+from repro.store import (
+    STATUS_CLAIMED,
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_PENDING,
+    WorkQueue,
+    ensure_queue,
+    open_store,
+)
+from repro.dist.worker import worker_entry
+
+
+def _record_key(spec: ExperimentSpec) -> str:
+    """The experiment-cache key string holding this spec's record."""
+    return _key_to_str(_memo_key(spec))
+
+
+@dataclass
+class SweepScheduler:
+    """Driver for one distributed sweep over a queue-capable store."""
+
+    sweep: SweepSpec
+    #: keep previously finished queue rows (the normal, zero-recompute
+    #: path); ``False`` forgets the sweep's rows and reschedules every
+    #: point — cached experiment records still replay, only the queue
+    #: bookkeeping restarts.
+    resume: bool = True
+    lease_ttl: float = 60.0
+    max_attempts: int = 3
+    sweep_id: str = ""
+    specs: list[ExperimentSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.sweep.cache_path is None:
+            raise StoreError(
+                "a distributed sweep needs a shared store; set the sweep's "
+                "cache_path (e.g. sweep.sqlite) so workers have somewhere "
+                "to meet"
+            )
+        if not self.sweep_id:
+            self.sweep_id = self.sweep.fingerprint()
+        self.specs = self.sweep.expand()
+        for spec in self.specs:
+            spec.validate()
+        self._store = open_store(self.sweep.cache_path, self.sweep.store)
+        self._queue: WorkQueue = ensure_queue(self._store)
+
+    # -- queue management -----------------------------------------------
+    def enqueue(self) -> int:
+        """Schedule every point; returns how many rows were newly added.
+
+        Points already recorded in the store's experiment namespace are
+        marked done immediately — a resumed or warm sweep never re-runs
+        them.
+        """
+        points = {
+            spec.fingerprint(): spec.to_dict() for spec in self.specs
+        }
+        added = self._queue.enqueue_points(
+            self.sweep_id, points, reset=not self.resume
+        )
+        existing = self._store.load_namespace(EXPERIMENT_NAMESPACE)
+        recorded = [
+            spec.fingerprint()
+            for spec in self.specs
+            if _record_key(spec) in existing
+        ]
+        self._queue.mark_done(self.sweep_id, recorded)
+        return added
+
+    def queue_counts(self) -> dict[str, int]:
+        return self._queue.queue_counts(self.sweep_id)
+
+    # -- execution ------------------------------------------------------
+    def run(
+        self, workers: int, *, out_dir: str | Path | None = None
+    ) -> SweepResult:
+        """Enqueue, drive ``workers`` local processes, collect results."""
+        if workers < 1:
+            raise StoreError(f"distributed workers must be >= 1, got {workers}")
+        started = time.perf_counter()
+        self.enqueue()
+        done_before = {
+            p["fingerprint"]
+            for p in self._queue.points(self.sweep_id)
+            if p["status"] == STATUS_DONE
+        }
+
+        worker_ids = [
+            f"sched-{uuid.uuid4().hex[:6]}-{i}" for i in range(workers)
+        ]
+        # Children must open their own database handles; close ours so a
+        # forked child never inherits a connection with live state.
+        self._store.close()
+        context = multiprocessing.get_context()
+        processes = [
+            context.Process(
+                target=worker_entry,
+                args=(
+                    {
+                        "store_path": str(self.sweep.cache_path),
+                        "backend": self.sweep.store,
+                        "sweep_id": self.sweep_id,
+                        "worker_id": worker_id,
+                        "lease_ttl": self.lease_ttl,
+                        "max_attempts": self.max_attempts,
+                    },
+                ),
+                daemon=False,
+            )
+            for worker_id in worker_ids
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+        # A worker that died mid-point (crash, kill -9) leaves its lease
+        # behind; release it so this — or the next — run reclaims the
+        # point immediately instead of waiting out the ttl.
+        for worker_id in worker_ids:
+            self._queue.release_worker(self.sweep_id, worker_id)
+        self._queue.requeue_expired(self.sweep_id)
+
+        counts = self.queue_counts()
+        if counts.get(STATUS_FAILED):
+            errors = [
+                f"  {p['fingerprint']}: {p['error']}"
+                for p in self._queue.points(self.sweep_id)
+                if p["status"] == STATUS_FAILED
+            ]
+            raise StoreError(
+                f"sweep {self.sweep.name} [{self.sweep_id}] finished with "
+                f"{counts[STATUS_FAILED]} failed point(s) after "
+                f"{self.max_attempts} attempts each:\n" + "\n".join(errors)
+            )
+        if counts.get(STATUS_PENDING) or counts.get(STATUS_CLAIMED):
+            raise StoreError(
+                f"sweep {self.sweep.name} [{self.sweep_id}] still has "
+                f"unfinished points ({counts}) after its workers exited — "
+                "likely killed; re-run with resume to continue where it "
+                "stopped"
+            )
+
+        rows = self._queue.points(self.sweep_id)
+        session_fresh = sum(
+            int(p["fresh_evaluations"] or 0)
+            for p in rows
+            if p["status"] == STATUS_DONE
+            and p["fingerprint"] not in done_before
+        )
+        distributed = {
+            "workers": workers,
+            "sweep_id": self.sweep_id,
+            "queue": self.queue_counts(),
+            "fresh_evaluations": session_fresh,
+            "completed_this_run": sum(
+                1 for p in rows if p["fingerprint"] not in done_before
+            ),
+            "replayed_from_cache": len(
+                [s for s in self.specs if s.fingerprint() in done_before]
+            ),
+            "wall_s": time.perf_counter() - started,
+        }
+        return self.collect(out_dir=out_dir, distributed=distributed)
+
+    # -- result assembly ------------------------------------------------
+    def collect(
+        self,
+        *,
+        out_dir: str | Path | None = None,
+        distributed: dict[str, Any] | None = None,
+    ) -> SweepResult:
+        """Replay every point's stored record into a standard SweepResult.
+
+        Points are replayed in the sweep's deterministic expansion order
+        regardless of which worker finished them when, so artifacts are
+        ordered exactly like a serial run's.
+        """
+        memo = FitnessCache(
+            path=self.sweep.cache_path,
+            backend=self._store,
+            namespace=EXPERIMENT_NAMESPACE,
+        )
+        writer = (
+            RunWriter(out_dir, name=self.sweep.name)
+            if out_dir is not None
+            else None
+        )
+        results: list[RunResult] = []
+        for spec in self.specs:
+            result = run_experiment(spec, experiment_cache=memo)
+            results.append(result)
+            if writer is not None:
+                writer.write(result.record)
+
+        manifest_path = results_path = None
+        if writer is not None:
+            manifest_path = writer.finalize(
+                sweep=self.sweep.to_dict(),
+                n_points=len(self.specs),
+                distributed=distributed or {"sweep_id": self.sweep_id},
+                cache_path=self.sweep.cache_path,
+                fresh_evaluations=(distributed or {}).get(
+                    "fresh_evaluations", 0
+                ),
+                replayed_from_cache=(distributed or {}).get(
+                    "replayed_from_cache", 0
+                ),
+            )
+            results_path = writer.results_path
+        return SweepResult(
+            sweep=self.sweep,
+            results=results,
+            results_path=results_path,
+            manifest_path=manifest_path,
+            distributed=distributed
+            or {"sweep_id": self.sweep_id, "workers": 0},
+        )

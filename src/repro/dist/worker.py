@@ -1,0 +1,204 @@
+"""Sweep worker: claim points from a shared store, run them, stream back.
+
+A :class:`Worker` is one OS process cooperating on one sweep. Its loop:
+
+1. *claim* the next pending point from the store's ``sweep_points``
+   queue (lease-based, so no two workers ever run the same point);
+2. run it through the ordinary :func:`repro.api.runner.run_experiment`
+   against a store-backed experiment cache — the finished record streams
+   straight into the shared store, and fitness/report namespaces are
+   shared too, so sibling workers reuse each other's attack evaluations;
+3. *heartbeat* the lease from a background thread while the evaluation
+   runs, so slow points are not mistaken for dead workers;
+4. *complete* the point (recording how many fresh attack evaluations it
+   cost) and claim the next one.
+
+The loop exits when the queue holds nothing claimable and nothing is
+still leased to a sibling. Failures requeue the point until
+``max_attempts``, then park it as ``failed`` with the error attached.
+``worker_entry`` is the process entry point used by the scheduler and
+the ``autolock worker`` CLI verb — workers only need the store path and
+the sweep id; everything else lives in the queue payloads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.runner import EXPERIMENT_NAMESPACE, run_experiment
+from repro.api.spec import ExperimentSpec
+from repro.ec.fitness import FitnessCache
+from repro.store import STATUS_CLAIMED, STATUS_PENDING, ensure_queue, open_store
+
+
+def default_worker_id() -> str:
+    """A human-traceable, collision-safe worker identity."""
+    return f"w{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class _LeaseHeartbeat:
+    """Background thread renewing one point's lease while it runs."""
+
+    def __init__(self, queue, point, interval_s: float, ttl: float) -> None:
+        self._queue = queue
+        self._point = point
+        self._interval_s = interval_s
+        self._ttl = ttl
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.lost = False
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            held = self._queue.heartbeat(
+                self._point.sweep_id,
+                self._point.fingerprint,
+                self._point.worker_id,
+                self._ttl,
+            )
+            if not held:
+                # Lease stolen (we stalled past the ttl). Keep computing —
+                # the result is deterministic and complete() is idempotent —
+                # but stop renewing a lease we no longer hold.
+                self.lost = True
+                return
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+@dataclass
+class WorkerReport:
+    """What one worker loop accomplished."""
+
+    worker_id: str
+    points_completed: int = 0
+    points_failed: int = 0
+    fresh_evaluations: int = 0
+    wall_s: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"worker {self.worker_id}: {self.points_completed} points, "
+            f"{self.points_failed} failed, "
+            f"{self.fresh_evaluations} fresh attack evaluations, "
+            f"{self.wall_s:.1f}s"
+        )
+
+
+@dataclass
+class Worker:
+    """One claim-run-complete loop against a shared sweep store."""
+
+    store_path: str
+    sweep_id: str
+    backend: str | None = None
+    worker_id: str = field(default_factory=default_worker_id)
+    lease_ttl: float = 60.0
+    poll_interval_s: float = 0.2
+    max_attempts: int = 3
+    #: stop after this many completed points (crash simulation in tests,
+    #: bounded drain in ops); ``None`` runs until the queue is finished.
+    max_points: int | None = None
+
+    def run(self) -> WorkerReport:
+        started = time.perf_counter()
+        report = WorkerReport(worker_id=self.worker_id)
+        store = open_store(self.store_path, self.backend)
+        queue = ensure_queue(store)
+        # One experiment-record cache for the whole loop, sharing the
+        # already-open store handle; read-through finds records written
+        # by sibling workers mid-run.
+        memo = FitnessCache(
+            path=self.store_path,
+            backend=store,
+            namespace=EXPERIMENT_NAMESPACE,
+        )
+        heartbeat_interval = max(0.05, self.lease_ttl / 3.0)
+        try:
+            while True:
+                if (
+                    self.max_points is not None
+                    and report.points_completed >= self.max_points
+                ):
+                    break
+                point = queue.claim(self.sweep_id, self.worker_id, self.lease_ttl)
+                if point is None:
+                    # claim() already treats expired leases as claimable,
+                    # so an empty claim means: drained, or siblings still
+                    # hold live leases.
+                    counts = queue.queue_counts(self.sweep_id)
+                    if not (
+                        counts.get(STATUS_PENDING, 0)
+                        or counts.get(STATUS_CLAIMED, 0)
+                    ):
+                        break  # queue drained: every point done or failed
+                    time.sleep(self.poll_interval_s)
+                    continue
+                # Point the spec's execution knobs at *this worker's* view
+                # of the store: the enqueuer's cache_path may be relative
+                # to another cwd or machine, and the engine-side fitness
+                # caches are built from the spec. Execution fields are
+                # excluded from the fingerprint, so the memo key — and
+                # therefore the record — is unchanged.
+                spec = ExperimentSpec.from_dict(point.payload)
+                overrides: dict = {"cache_path": str(self.store_path)}
+                if self.backend is not None:
+                    overrides["store"] = self.backend
+                spec = spec.with_updates(**overrides)
+                heartbeat = _LeaseHeartbeat(
+                    queue, point, heartbeat_interval, self.lease_ttl
+                )
+                try:
+                    with heartbeat:
+                        result = run_experiment(spec, experiment_cache=memo)
+                except Exception as exc:  # noqa: BLE001 - point-level isolation
+                    if heartbeat.lost:
+                        # Our lease was stolen mid-run; the point belongs
+                        # to a sibling now — reporting our failure would
+                        # scribble on their row. (The store guards this
+                        # too; skipping here avoids a misleading error.)
+                        continue
+                    status = queue.fail(
+                        self.sweep_id,
+                        point.fingerprint,
+                        self.worker_id,
+                        f"{type(exc).__name__}: {exc}",
+                        max_attempts=self.max_attempts,
+                    )
+                    if status == "failed":
+                        report.points_failed += 1
+                    continue
+                queue.complete(
+                    self.sweep_id,
+                    point.fingerprint,
+                    self.worker_id,
+                    fresh_evaluations=result.fresh_evaluations,
+                )
+                report.points_completed += 1
+                report.fresh_evaluations += result.fresh_evaluations
+        finally:
+            store.close()
+        report.wall_s = time.perf_counter() - started
+        return report
+
+
+def worker_entry(config: dict[str, Any]) -> WorkerReport:
+    """Process entry point: build a :class:`Worker` from plain kwargs.
+
+    Takes a plain dict (picklable under any multiprocessing start
+    method) so the scheduler and the CLI share one spawn path.
+    """
+    report = Worker(**config).run()
+    print(report.describe(), flush=True)
+    return report

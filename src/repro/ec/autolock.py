@@ -63,6 +63,8 @@ class AutoLockConfig:
     seed: int = 0
     workers: int = 1
     cache_path: str | Path | None = None
+    #: store backend for ``cache_path`` (None = infer from suffix).
+    store: str | None = None
 
     def ga_config(self) -> GaConfig:
         return GaConfig(
@@ -137,6 +139,7 @@ class AutoLock:
         # Step 2: GA refinement against the fast fitness oracle.
         cache = FitnessCache(
             path=cfg.cache_path,
+            backend=cfg.store,
             namespace=cache_namespace(
                 original.name,
                 role="fitness",
@@ -177,6 +180,7 @@ class AutoLock:
         # fitness oracle), so repeated runs skip the re-evaluation too.
         report_cache = FitnessCache(
             path=cfg.cache_path,
+            backend=cfg.store,
             namespace=cache_namespace(
                 original.name,
                 role="report",

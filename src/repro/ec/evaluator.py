@@ -29,8 +29,11 @@ evaluation.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
+import shutil
+import tempfile
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -132,28 +135,34 @@ class SerialEvaluator(Evaluator):
 
 
 # -- worker-process plumbing -----------------------------------------------
-_WORKER_FITNESS: Fitness | None = None
+#: per-worker-process cache of the most recently loaded fitness snapshot:
+#: ``(epoch, fitness)``. Tasks carry the epoch + blob path; a worker
+#: reloads only when its cached epoch is stale, so one long-lived pool
+#: serves many successive fitness functions (a sweep's per-spec oracles).
+_WORKER_STATE: tuple[int, Fitness] | None = None
 
 
-def _init_worker(blob: bytes) -> None:
-    """Unpickle the fitness function once per worker process."""
-    global _WORKER_FITNESS
-    _WORKER_FITNESS = pickle.loads(blob)
-
-
-def _eval_one(genes: Genotype):
-    assert _WORKER_FITNESS is not None, "worker initialised without fitness"
-    return _WORKER_FITNESS(genes)
+def _eval_epoch(task: "tuple[int, str, Genotype]"):
+    global _WORKER_STATE
+    epoch, blob_path, genes = task
+    if _WORKER_STATE is None or _WORKER_STATE[0] != epoch:
+        with open(blob_path, "rb") as fh:
+            _WORKER_STATE = (epoch, pickle.load(fh))
+    return _WORKER_STATE[1](genes)
 
 
 class ProcessPoolEvaluator(Evaluator):
     """Deduped, cache-fronted fan-out across worker processes.
 
-    The fitness function is pickled once per pool and rebuilt in each
-    worker; only cache misses travel to workers, and results merge back
-    through the dispatcher's cache so persistent stores see every value.
-    The pool is created lazily on first use and rebuilt only when a
-    *different* fitness object arrives — the snapshot shipped to workers
+    The fitness function is pickled once per *epoch* — each distinct
+    fitness object the dispatcher sends — into a blob file under a
+    private temp directory; tasks carry ``(epoch, blob_path, genes)`` and
+    each worker reloads the blob only when its cached epoch is stale.
+    The worker processes themselves stay alive across fitness changes,
+    so a sweep that runs many specs through one shared evaluator pays
+    process startup once, not once per spec. Only cache misses travel to
+    workers, and results merge back through the dispatcher's cache so
+    persistent stores see every value. The snapshot shipped to workers
     deliberately excludes later in-place mutation of the dispatcher's
     fitness (its warming cache, its counters), which workers never need:
     they only ever see genotypes the dispatcher's cache missed.
@@ -171,6 +180,9 @@ class ProcessPoolEvaluator(Evaluator):
         self._pool: ProcessPoolExecutor | None = None
         self._pool_fitness: Fitness | None = None
         self._warned_unpicklable = False
+        self._epoch = 0
+        self._blob_dir: str | None = None
+        self._blob_path: str | None = None
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -178,6 +190,10 @@ class ProcessPoolEvaluator(Evaluator):
             self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_fitness = None
+        if self._blob_dir is not None:
+            shutil.rmtree(self._blob_dir, ignore_errors=True)
+            self._blob_dir = None
+            self._blob_path = None
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -241,7 +257,7 @@ class ProcessPoolEvaluator(Evaluator):
         self, genomes: list[Genotype], fitness: Fitness
     ) -> tuple[list, bool]:
         """Evaluate fresh genotypes; returns (values, used_fallback)."""
-        if self._pool is None or fitness is not self._pool_fitness:
+        if self._blob_path is None or fitness is not self._pool_fitness:
             try:
                 blob = pickle.dumps(fitness)
             except Exception:
@@ -255,12 +271,31 @@ class ProcessPoolEvaluator(Evaluator):
                     )
                     self._warned_unpicklable = True
                 return [fitness(genes) for genes in genomes], True
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(blob,),
-            )
+            # New fitness: bump the epoch and stage its blob; the live
+            # worker processes pick it up on their next task instead of
+            # the whole executor restarting per spec.
+            if self._blob_dir is None:
+                self._blob_dir = tempfile.mkdtemp(prefix="repro-eval-")
+            self._epoch += 1
+            new_blob = os.path.join(self._blob_dir, f"fitness-{self._epoch}.pkl")
+            with open(new_blob, "wb") as fh:
+                fh.write(blob)
+            if self._blob_path is not None:
+                # Workers mid-load hold the old file open via their own
+                # handle; unlink is safe on POSIX and merely unclutters.
+                with contextlib.suppress(OSError):
+                    os.unlink(self._blob_path)
+            self._blob_path = new_blob
             self._pool_fitness = fitness
-        return list(self._pool.map(_eval_one, genomes)), False
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        epoch, blob_path = self._epoch, self._blob_path
+        return (
+            list(
+                self._pool.map(
+                    _eval_epoch,
+                    [(epoch, blob_path, genes) for genes in genomes],
+                )
+            ),
+            False,
+        )

@@ -16,7 +16,6 @@ benchmark sweeps never mix incompatible evaluations.
 from __future__ import annotations
 
 import json
-import os
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -65,17 +64,19 @@ def _key_to_str(key: tuple) -> str:
 class FitnessCache:
     """Genotype-keyed memo with hit statistics.
 
-    ``path`` enables write-through persistence: entries are loaded from
-    (and saved to) a JSON file mapping ``namespace -> key -> value``.
-    Saves are read-merge-write with an atomic rename; caches with
-    distinct namespaces can share one file as long as their flushes do
-    not interleave (sequential use within a process, as in the AutoLock
-    pipeline). Truly concurrent writers — two processes, or two threads
-    flushing different cache objects simultaneously — can lose each
-    other's newest entries between read and rename; that needs the
-    planned SQLite backend. All mutating operations on one cache object
-    hold an internal lock, making it safe to share between the evaluator
-    dispatch thread and any caller.
+    ``path`` enables write-through persistence through a pluggable
+    :class:`~repro.store.base.StoreBackend` holding ``namespace -> key ->
+    value`` entries. ``backend`` picks it: a registered backend name
+    (``"json"``, ``"sqlite"``), an already-open store object, or ``None``
+    to infer from the path suffix — a ``.json`` path keeps the historical
+    single-file format byte-for-byte, a ``.sqlite``/``.db`` path opens
+    the WAL-mode SQLite store that tolerates any number of concurrent
+    cross-process writers. On a *read-through* backend (SQLite), a miss
+    in the in-memory snapshot falls through to the shared medium, so
+    entries written by sibling worker processes mid-run are found rather
+    than recomputed. All mutating operations on one cache object hold an
+    internal lock, making it safe to share between the evaluator dispatch
+    thread and any caller.
     """
 
     store: dict[tuple, float | tuple[float, ...]] = field(default_factory=dict)
@@ -83,16 +84,26 @@ class FitnessCache:
     misses: int = 0
     path: str | Path | None = None
     namespace: str = "default"
+    #: store backend name, open store object, or None (infer from path).
+    backend: object | str | None = None
 
     def __post_init__(self) -> None:
         self._lock = threading.RLock()
+        self._dirty: set[tuple] = set()
+        self._store_backend = None
         if self.path is not None:
             self.path = Path(self.path)
             if self.path.is_dir():
                 raise ValueError(
                     f"cache path {self.path} is a directory; "
-                    "point it at a JSON file"
+                    "point it at a file"
                 )
+            from repro.store import open_store
+
+            if self.backend is None or isinstance(self.backend, str):
+                self._store_backend = open_store(self.path, self.backend)
+            else:
+                self._store_backend = self.backend
             self._load()
 
     # -- persistence ----------------------------------------------------
@@ -102,60 +113,51 @@ class FitnessCache:
         return tuple(value) if isinstance(value, list) else value
 
     def _load(self) -> None:
-        if self.path is None or not self.path.exists():
+        if self._store_backend is None:
             return
-        try:
-            payload = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return  # corrupt/unreadable cache file: start fresh, don't crash
-        for key_str, value in payload.get(self.namespace, {}).items():
+        for key_str, value in self._store_backend.load_namespace(
+            self.namespace
+        ).items():
             key = tuple(tuple(g) for g in json.loads(key_str))
             self.store[key] = self._decode(value)
 
     def flush(self) -> None:
-        """Read-merge-write this cache's namespace into ``path``."""
-        if self.path is None:
+        """Merge entries new since the last flush into the backend.
+
+        Keys leave the dirty set only after the backend write succeeds —
+        a failed flush (store busy past its retries) keeps them queued
+        for the next one instead of silently dropping them forever.
+        """
+        if self._store_backend is None:
             return
         with self._lock:
-            payload: dict = {}
-            if self.path.exists():
-                try:
-                    payload = json.loads(self.path.read_text())
-                except (OSError, json.JSONDecodeError):
-                    payload = {}
-            section = payload.setdefault(self.namespace, {})
-            for key, value in self.store.items():
-                section[_key_to_str(key)] = value
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-            tmp.write_text(json.dumps(payload))
-            os.replace(tmp, self.path)
+            if not self._dirty:
+                return
+            keys = tuple(self._dirty)
+            entries = {_key_to_str(key): self.store[key] for key in keys}
+        self._store_backend.put_many(self.namespace, entries)
+        with self._lock:
+            self._dirty.difference_update(keys)
 
     def wipe_disk(self) -> None:
-        """Remove this cache's namespace from the on-disk file."""
-        if self.path is None or not self.path.exists():
+        """Remove this cache's namespace from the backing store."""
+        if self._store_backend is None:
             return
         with self._lock:
-            try:
-                payload = json.loads(self.path.read_text())
-            except (OSError, json.JSONDecodeError):
-                payload = {}
-            payload.pop(self.namespace, None)
-            if payload:
-                tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-                tmp.write_text(json.dumps(payload))
-                os.replace(tmp, self.path)
-            else:
-                self.path.unlink()
+            self._store_backend.wipe_namespace(self.namespace)
+            self._dirty.clear()
 
     # -- pickling (worker-process dispatch) -----------------------------
     def __getstate__(self) -> dict:
-        """Pickle without the lock; drop ``path`` so unpickled copies
-        (fitness clones living in worker processes) never write the shared
-        cache file — the dispatching process owns persistence."""
+        """Pickle without the lock or store handle; drop ``path`` so
+        unpickled copies (fitness clones living in worker processes) never
+        write the shared store — the dispatching process owns persistence."""
         state = self.__dict__.copy()
         state.pop("_lock", None)
         state["path"] = None
+        state["backend"] = None
+        state["_store_backend"] = None
+        state["_dirty"] = set()
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -168,6 +170,18 @@ class FitnessCache:
             if key in self.store:
                 self.hits += 1
                 return self.store[key]
+            if (
+                self._store_backend is not None
+                and self._store_backend.read_through
+            ):
+                # Another process may have written this entry since our
+                # snapshot — one cheap indexed lookup beats an attack run.
+                value = self._store_backend.get(self.namespace, _key_to_str(key))
+                if value is not None:
+                    value = self._decode(value)
+                    self.store[key] = value
+                    self.hits += 1
+                    return value
             self.misses += 1
             return None
 
@@ -181,6 +195,7 @@ class FitnessCache:
         """
         with self._lock:
             self.store[key] = value
+            self._dirty.add(key)
         if flush and self.path is not None:
             self.flush()
 

@@ -54,3 +54,8 @@ class RegistryError(ReproError):
 class SpecError(ReproError):
     """An experiment/sweep specification is malformed (unknown field,
     invalid value, inconsistent configuration)."""
+
+
+class StoreError(ReproError):
+    """An experiment store operation failed (unknown backend, capability
+    not supported, persistent busy/lock contention)."""

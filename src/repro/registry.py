@@ -144,12 +144,15 @@ PREDICTORS = Registry("link predictor", providers=("repro.attacks.muxlink",))
 ENGINES = Registry("search engine", providers=("repro.api.engines",))
 #: Design metrics computed on a locked circuit: name -> metric callable.
 METRICS = Registry("metric", providers=("repro.api.metrics",))
+#: Experiment-store backends: name -> StoreBackend factory taking ``path``.
+STORES = Registry("store backend", providers=("repro.store",))
 
 register_scheme = SCHEMES.register
 register_attack = ATTACKS.register
 register_predictor = PREDICTORS.register
 register_engine = ENGINES.register
 register_metric = METRICS.register
+register_store = STORES.register
 
 
 def create_scheme(name: str, **kwargs):
@@ -170,6 +173,16 @@ def create_predictor(name: str, **kwargs):
 def create_engine(name: str, **kwargs):
     """Instantiate the search-engine adapter registered under ``name``."""
     return ENGINES.create(name, **kwargs)
+
+
+def create_store(name: str, **kwargs):
+    """Instantiate the store backend registered under ``name``."""
+    return STORES.create(name, **kwargs)
+
+
+def available_stores() -> list[str]:
+    """Registered store-backend names."""
+    return STORES.available()
 
 
 def available_schemes() -> list[str]:
@@ -204,18 +217,22 @@ __all__ = [
     "PREDICTORS",
     "ENGINES",
     "METRICS",
+    "STORES",
     "register_scheme",
     "register_attack",
     "register_predictor",
     "register_engine",
     "register_metric",
+    "register_store",
     "create_scheme",
     "create_attack",
     "create_predictor",
     "create_engine",
+    "create_store",
     "available_schemes",
     "available_attacks",
     "available_predictors",
     "available_engines",
     "available_metrics",
+    "available_stores",
 ]

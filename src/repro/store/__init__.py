@@ -1,0 +1,37 @@
+"""Experiment stores: shared sweep state behind a pluggable backend.
+
+See :mod:`repro.store.base` for the :class:`StoreBackend` /
+:class:`WorkQueue` protocols, :mod:`repro.store.json_store` for the
+single-writer JSON file, and :mod:`repro.store.sqlite_store` for the
+concurrent SQLite database with the distributed work queue.
+"""
+
+from repro.store.base import (
+    STATUS_CLAIMED,
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_PENDING,
+    ClaimedPoint,
+    StoreBackend,
+    WorkQueue,
+    ensure_queue,
+    infer_backend,
+    open_store,
+)
+from repro.store.json_store import JSONStore
+from repro.store.sqlite_store import SQLiteStore
+
+__all__ = [
+    "STATUS_CLAIMED",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "STATUS_PENDING",
+    "ClaimedPoint",
+    "JSONStore",
+    "SQLiteStore",
+    "StoreBackend",
+    "WorkQueue",
+    "ensure_queue",
+    "infer_backend",
+    "open_store",
+]

@@ -1,0 +1,204 @@
+"""Store backend protocol: namespaced key/value state plus a work queue.
+
+An experiment *store* is the shared state behind sweeps: per-genotype
+fitness entries, finished experiment records keyed by spec fingerprint,
+and (for distributed execution) the ``sweep_points`` work queue. Two
+backends implement the protocol:
+
+* :class:`~repro.store.json_store.JSONStore` — the historical single-file
+  JSON format (``namespace -> key -> value``), safe for one writer at a
+  time thanks to unique-temp-file + atomic-rename persistence;
+* :class:`~repro.store.sqlite_store.SQLiteStore` — WAL-mode SQLite with
+  retry-on-busy, safe for any number of concurrent OS processes, and the
+  only backend carrying the lease-based work queue.
+
+Backends are registered under :data:`repro.registry.STORES` (``"json"``,
+``"sqlite"``); :func:`open_store` resolves a name or infers one from the
+path suffix, so ``--store sqlite`` and ``cache.sqlite`` mean the same
+thing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+from repro.errors import StoreError
+from repro.registry import STORES
+
+#: path suffixes that select the SQLite backend when no explicit backend
+#: name is given.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: work-queue point states (the ``sweep_points`` table's ``status``).
+STATUS_PENDING = "pending"
+STATUS_CLAIMED = "claimed"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """Namespaced key/value persistence shared by every backend.
+
+    Keys and namespaces are strings; values are JSON-safe objects. A
+    backend whose :attr:`read_through` is true serves :meth:`get` misses
+    from the live shared medium (concurrent writers become visible
+    mid-run); a false value means the load-once snapshot from
+    :meth:`load_namespace` is all there is.
+    """
+
+    #: whether point lookups should consult the backend after a miss in
+    #: an in-memory snapshot (true for genuinely concurrent media).
+    read_through: bool
+
+    def load_namespace(self, namespace: str) -> dict[str, Any]:
+        """Every ``key -> value`` currently stored under ``namespace``."""
+        ...  # pragma: no cover - protocol
+
+    def get(self, namespace: str, key: str) -> Any | None:
+        """One value, or ``None`` when absent."""
+        ...  # pragma: no cover - protocol
+
+    def put_many(self, namespace: str, entries: Mapping[str, Any]) -> None:
+        """Merge ``entries`` into ``namespace`` (upsert semantics)."""
+        ...  # pragma: no cover - protocol
+
+    def wipe_namespace(self, namespace: str) -> None:
+        """Drop every entry under ``namespace``; other namespaces survive."""
+        ...  # pragma: no cover - protocol
+
+    def namespaces(self) -> list[str]:
+        """Sorted namespaces currently holding entries."""
+        ...  # pragma: no cover - protocol
+
+    def status(self) -> dict[str, Any]:
+        """JSON-safe health summary (``autolock store status``)."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release any handle; further use may reopen lazily."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class ClaimedPoint:
+    """One work-queue point leased to a worker."""
+
+    sweep_id: str
+    fingerprint: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    worker_id: str = ""
+    lease_expires: float = 0.0
+    attempts: int = 1
+
+    @property
+    def lease_remaining_s(self) -> float:
+        return max(0.0, self.lease_expires - time.time())
+
+
+@runtime_checkable
+class WorkQueue(Protocol):
+    """Lease-based sweep-point queue (SQLite-backed today).
+
+    Points are keyed by ``(sweep_id, fingerprint)``. A *claim* marks a
+    pending point as leased to one worker until ``ttl`` seconds pass;
+    workers heartbeat long evaluations to extend the lease and *complete*
+    points when the experiment record is safely stored. Leases that
+    expire (crashed or stalled worker) are requeued, so a killed sweep
+    resumes with zero recomputation of completed points.
+    """
+
+    def enqueue_points(
+        self, sweep_id: str, points: Mapping[str, Mapping[str, Any]],
+        *, reset: bool = False,
+    ) -> int:
+        """Insert missing points (``fingerprint -> payload``); returns how
+        many were newly inserted. ``reset=True`` first forgets every
+        existing point of the sweep."""
+        ...  # pragma: no cover - protocol
+
+    def claim(
+        self, sweep_id: str, worker_id: str, ttl: float
+    ) -> ClaimedPoint | None:
+        """Lease one pending point, or ``None`` when nothing is claimable."""
+        ...  # pragma: no cover - protocol
+
+    def heartbeat(
+        self, sweep_id: str, fingerprint: str, worker_id: str, ttl: float
+    ) -> bool:
+        """Extend a held lease; false when the lease was lost."""
+        ...  # pragma: no cover - protocol
+
+    def complete(
+        self, sweep_id: str, fingerprint: str, worker_id: str,
+        *, fresh_evaluations: int = 0,
+    ) -> None:
+        """Mark a point done (idempotent), recording what it cost."""
+        ...  # pragma: no cover - protocol
+
+    def release_worker(self, sweep_id: str, worker_id: str) -> int:
+        """Requeue points still claimed by one (dead) worker."""
+        ...  # pragma: no cover - protocol
+
+    def fail(
+        self, sweep_id: str, fingerprint: str, worker_id: str, error: str,
+        *, max_attempts: int,
+    ) -> str:
+        """Requeue a failed point (or park it as ``failed`` after
+        ``max_attempts``); returns the resulting status."""
+        ...  # pragma: no cover - protocol
+
+    def requeue_expired(self, sweep_id: str) -> int:
+        """Return expired leases to ``pending``; returns how many."""
+        ...  # pragma: no cover - protocol
+
+    def queue_counts(self, sweep_id: str) -> dict[str, int]:
+        """``status -> point count`` for one sweep."""
+        ...  # pragma: no cover - protocol
+
+    def mark_done(self, sweep_id: str, fingerprints: list[str]) -> int:
+        """Pre-complete points whose records already exist (warm
+        resume); returns how many flipped to done."""
+        ...  # pragma: no cover - protocol
+
+    def points(self, sweep_id: str) -> list[dict[str, Any]]:
+        """Every point row of one sweep (status, worker, attempts,
+        error, completion bookkeeping)."""
+        ...  # pragma: no cover - protocol
+
+
+def infer_backend(path: str | Path) -> str:
+    """The backend name implied by a store path's suffix."""
+    suffix = Path(path).suffix.lower()
+    return "sqlite" if suffix in SQLITE_SUFFIXES else "json"
+
+
+def open_store(path: str | Path, backend: str | None = None) -> StoreBackend:
+    """Open the store at ``path`` with an explicit or inferred backend.
+
+    ``backend`` is a :data:`repro.registry.STORES` name (``"json"``,
+    ``"sqlite"``, or any plugin); ``None`` infers from the path suffix so
+    existing ``--cache foo.json`` usage keeps its exact behaviour.
+    """
+    name = backend if backend is not None else infer_backend(path)
+    store = STORES.create(name, path=path)
+    if not isinstance(store, StoreBackend):
+        raise StoreError(
+            f"store backend {name!r} ({type(store).__name__}) does not "
+            "implement the StoreBackend protocol"
+        )
+    return store
+
+
+def ensure_queue(store: StoreBackend) -> WorkQueue:
+    """The store's work queue, or a :class:`StoreError` naming the fix."""
+    if isinstance(store, WorkQueue):
+        return store
+    raise StoreError(
+        f"store backend {type(store).__name__} has no work queue; "
+        "distributed sweeps need a queue-capable store — use the sqlite "
+        "backend (e.g. --store sqlite or a .sqlite cache path)"
+    )

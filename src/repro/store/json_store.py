@@ -1,0 +1,125 @@
+"""Single-file JSON store: the historical cache format, made torn-write safe.
+
+On disk this is exactly the file :class:`~repro.ec.fitness.FitnessCache`
+always wrote — one JSON object mapping ``namespace -> key -> value`` — so
+existing cache files keep working unchanged. What changed is *how* it is
+written: every save goes to a fresh ``tempfile`` in the target directory
+and lands via ``os.replace``, so a reader can never observe a
+half-written file and two writers can never interleave inside one
+(the classic shared ``.tmp``-path race). Cross-process last-writer-wins
+on whole namespaces remains — genuinely concurrent writers belong on
+:class:`~repro.store.sqlite_store.SQLiteStore`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import StoreError
+from repro.registry import register_store
+
+
+@register_store("json")
+class JSONStore:
+    """Namespaced key/value persistence in one atomic-renamed JSON file."""
+
+    #: the file is a load-once snapshot; concurrent writers are not
+    #: visible mid-run, so per-miss re-reads would buy nothing.
+    read_through = False
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.is_dir():
+            raise StoreError(
+                f"store path {self.path} is a directory; point it at a file"
+            )
+        self._lock = threading.RLock()
+
+    # -- file plumbing --------------------------------------------------
+    def _read_all(self) -> dict[str, dict[str, Any]]:
+        if not self.path.exists():
+            return {}
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}  # corrupt/unreadable file: start fresh, don't crash
+        return payload if isinstance(payload, dict) else {}
+
+    def _write_all(self, payload: dict[str, dict[str, Any]]) -> None:
+        """Atomically replace the file via a *unique* temp sibling.
+
+        ``tempfile`` (not a fixed ``.tmp`` suffix) keeps two simultaneous
+        flushers from scribbling over each other's in-flight temp file;
+        the fsync-then-rename ordering keeps a crash from leaving a torn
+        target.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=self.path.name + ".", suffix=".tmp", dir=self.path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(payload))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- StoreBackend ---------------------------------------------------
+    def load_namespace(self, namespace: str) -> dict[str, Any]:
+        with self._lock:
+            return dict(self._read_all().get(namespace, {}))
+
+    def get(self, namespace: str, key: str) -> Any | None:
+        with self._lock:
+            return self._read_all().get(namespace, {}).get(key)
+
+    def put_many(self, namespace: str, entries: Mapping[str, Any]) -> None:
+        if not entries:
+            return
+        with self._lock:
+            payload = self._read_all()
+            payload.setdefault(namespace, {}).update(entries)
+            self._write_all(payload)
+
+    def wipe_namespace(self, namespace: str) -> None:
+        with self._lock:
+            if not self.path.exists():
+                return
+            payload = self._read_all()
+            payload.pop(namespace, None)
+            if payload:
+                self._write_all(payload)
+            else:
+                self.path.unlink()
+
+    def namespaces(self) -> list[str]:
+        with self._lock:
+            return sorted(self._read_all())
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            payload = self._read_all()
+            return {
+                "backend": "json",
+                "path": str(self.path),
+                "exists": self.path.exists(),
+                "namespaces": {
+                    name: len(entries) for name, entries in sorted(payload.items())
+                },
+                "entries": sum(len(entries) for entries in payload.values()),
+                "sweeps": {},  # no work queue on this backend
+            }
+
+    def close(self) -> None:
+        """Nothing to release — every operation opens and closes the file."""

@@ -40,6 +40,7 @@ BENCH_ENTRY_POINTS = [
     ("bench_e9_overhead", "run_overhead"),
     ("bench_e10_functional", "run_functional"),
     ("bench_e11_heuristic_comparison", "run_comparison"),
+    ("bench_sweep_throughput", "run_throughput"),
 ]
 
 

@@ -62,6 +62,18 @@ class CountingFitness:
         return value
 
 
+class PidFitness:
+    """Picklable, cache-less fitness reporting which process ran it."""
+
+    def __init__(self, offset: int) -> None:
+        self.offset = offset
+
+    def __call__(self, genes) -> float:
+        import os
+
+        return float(os.getpid() + self.offset)
+
+
 # ----------------------------------------------------- GA equivalence
 def _ga_run(circuit, evaluator, cache):
     fitness = MuxLinkFitness(circuit, predictor="bayes", attack_seed=5, cache=cache)
@@ -151,12 +163,14 @@ def test_cache_hits_accumulate_across_generations(circuit):
     assert fitness.evaluations == 1
 
 
-def test_pool_reused_across_generations(circuit):
-    """The pool must survive fitness-cache warm-up between batches.
+def test_pool_reused_across_generations_and_fitness_changes(circuit):
+    """The pool must survive fitness-cache warm-up *and* fitness swaps.
 
     The worker snapshot is keyed on fitness object identity, not its
-    (mutating) pickled state — respawning workers every generation would
-    silently forfeit the fan-out win.
+    (mutating) pickled state, and a genuinely new fitness re-sends the
+    blob to the live workers instead of respawning the executor — a
+    sweep runs many specs through one shared pool, so restarting per
+    spec would silently forfeit the fan-out win.
     """
     fitness = CountingFitness()
     a = random_genotype(circuit, 4, seed_or_rng=5)
@@ -164,13 +178,48 @@ def test_pool_reused_across_generations(circuit):
     with ProcessPoolEvaluator(workers=2) as evaluator:
         evaluator.evaluate([a], fitness)
         pool_after_first = evaluator._pool
+        epoch_after_first = evaluator._epoch
         assert pool_after_first is not None
         evaluator.evaluate([b], fitness)  # cache mutated since the snapshot
         assert evaluator._pool is pool_after_first, (
             "same fitness object must not trigger a pool rebuild"
         )
+        assert evaluator._epoch == epoch_after_first, (
+            "same fitness object must not re-ship its blob"
+        )
         evaluator.evaluate([a], CountingFitness())  # genuinely new fitness
-        assert evaluator._pool is not pool_after_first
+        assert evaluator._pool is pool_after_first, (
+            "a new fitness must reuse the live workers (new epoch blob), "
+            "not restart the executor"
+        )
+        assert evaluator._epoch == epoch_after_first + 1
+
+
+def test_pool_worker_processes_survive_fitness_change(circuit):
+    """The same worker *processes* answer batches before and after the
+    dispatcher switches to a different fitness object.
+
+    Which of the two pool processes serves a given task is a race, so
+    the assertion bounds the *union* of observed pids: a respawned
+    executor would surface fresh pids and push the union past the pool
+    size, while the keep-alive pool can never exceed it.
+    """
+    import os
+
+    a = random_genotype(circuit, 4, seed_or_rng=5)
+    b = random_genotype(circuit, 4, seed_or_rng=6)
+    with ProcessPoolEvaluator(workers=2) as evaluator:
+        first, _ = evaluator.evaluate([a, b], PidFitness(0))
+        second, _ = evaluator.evaluate([a, b], PidFitness(1_000_000))
+        parent = os.getpid()
+    pids_first = {int(v) for v in first}
+    pids_second = {int(v) - 1_000_000 for v in second}
+    assert parent not in (pids_first | pids_second), (
+        "work must run in worker processes"
+    )
+    assert len(pids_first | pids_second) <= 2, (
+        "fitness change must not respawn the worker processes"
+    )
 
 
 def test_unpicklable_cached_fitness_accounting_matches_serial(circuit):

@@ -1,0 +1,342 @@
+"""Experiment stores: backends, concurrent writers, and the work queue.
+
+The SQLite store is the shared state behind distributed sweeps, so these
+tests hammer exactly what production leans on: cross-process writes with
+no lost or corrupted entries, lease-based claiming with expiry/requeue,
+and the FitnessCache integration (read-through visibility of sibling
+writers, pickling hygiene).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pickle
+import time
+
+import pytest
+
+from repro.ec.fitness import FitnessCache
+from repro.errors import StoreError
+from repro.registry import STORES
+from repro.store import (
+    JSONStore,
+    SQLiteStore,
+    ensure_queue,
+    infer_backend,
+    open_store,
+)
+
+# ------------------------------------------------------------ factory
+def test_open_store_infers_backend_from_suffix(tmp_path):
+    assert infer_backend("cache.json") == "json"
+    assert infer_backend("cache.sqlite") == "sqlite"
+    assert infer_backend("cache.db") == "sqlite"
+    assert isinstance(open_store(tmp_path / "a.json"), JSONStore)
+    assert isinstance(open_store(tmp_path / "a.sqlite"), SQLiteStore)
+    # Explicit backend name beats the suffix.
+    assert isinstance(open_store(tmp_path / "a.json", "sqlite"), SQLiteStore)
+
+
+def test_store_registry_lists_backends():
+    names = STORES.available()
+    assert "json" in names and "sqlite" in names
+
+
+def test_json_store_has_no_queue(tmp_path):
+    with pytest.raises(StoreError, match="work queue"):
+        ensure_queue(JSONStore(tmp_path / "a.json"))
+
+
+# ------------------------------------------------------ kv round trips
+@pytest.mark.parametrize("suffix", [".json", ".sqlite"])
+def test_kv_round_trip_and_namespacing(tmp_path, suffix):
+    store = open_store(tmp_path / f"s{suffix}")
+    store.put_many("ns1", {"a": 0.5, "b": [1, 2]})
+    store.put_many("ns2", {"a": {"nested": True}})
+    assert store.get("ns1", "a") == 0.5
+    assert store.get("ns1", "b") == [1, 2]
+    assert store.get("ns2", "a") == {"nested": True}
+    assert store.get("ns1", "missing") is None
+    assert store.load_namespace("ns1") == {"a": 0.5, "b": [1, 2]}
+    assert store.namespaces() == ["ns1", "ns2"]
+    store.wipe_namespace("ns1")
+    assert store.load_namespace("ns1") == {}
+    assert store.get("ns2", "a") == {"nested": True}
+    status = store.status()
+    assert status["entries"] == 1 and "ns2" in status["namespaces"]
+    store.close()
+
+
+def test_json_store_write_is_atomic_and_leaves_no_temp(tmp_path):
+    store = JSONStore(tmp_path / "c.json")
+    for i in range(5):
+        store.put_many("ns", {f"k{i}": i})
+    leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == [], "temp files must be renamed or cleaned up"
+    assert json.loads((tmp_path / "c.json").read_text())["ns"]["k4"] == 4
+
+
+def test_sqlite_store_pickles_by_path(tmp_path):
+    store = SQLiteStore(tmp_path / "s.sqlite")
+    store.put_many("ns", {"k": 1.5})
+    clone = pickle.loads(pickle.dumps(store))
+    assert clone.get("ns", "k") == 1.5
+    clone.close()
+    store.close()
+
+
+# --------------------------------------------- concurrent writer hammer
+def _hammer(path: str, worker_idx: int, n: int) -> None:
+    store = SQLiteStore(path, retries=12)
+    for i in range(n):
+        store.put_many(
+            "fitness|c17", {f"w{worker_idx}-k{i}": worker_idx + i * 0.5}
+        )
+        store.put_many(
+            "experiment",
+            {f"w{worker_idx}-e{i}": {"worker": worker_idx, "i": i}},
+        )
+    store.close()
+
+
+def test_two_processes_hammering_one_sqlite_store_lose_nothing(tmp_path):
+    path = str(tmp_path / "hammer.sqlite")
+    n = 60
+    procs = [
+        multiprocessing.Process(target=_hammer, args=(path, w, n))
+        for w in range(2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join()
+    assert all(p.exitcode == 0 for p in procs)
+
+    store = SQLiteStore(path)
+    fitness = store.load_namespace("fitness|c17")
+    experiments = store.load_namespace("experiment")
+    assert len(fitness) == 2 * n, "lost fitness entries under contention"
+    assert len(experiments) == 2 * n, "lost experiment entries under contention"
+    for w in range(2):
+        for i in range(n):
+            assert fitness[f"w{w}-k{i}"] == w + i * 0.5
+            assert experiments[f"w{w}-e{i}"] == {"worker": w, "i": i}
+    store.close()
+
+
+# ------------------------------------------------------------ the queue
+def test_claim_is_exclusive_and_ordered(tmp_path):
+    store = SQLiteStore(tmp_path / "q.sqlite")
+    queue = ensure_queue(store)
+    assert queue.enqueue_points("sw", {"p1": {"a": 1}, "p2": {"a": 2}}) == 2
+    # Idempotent: re-offering the same points adds nothing.
+    assert queue.enqueue_points("sw", {"p1": {"a": 1}, "p2": {"a": 2}}) == 0
+
+    first = queue.claim("sw", "w1", ttl=60)
+    second = queue.claim("sw", "w2", ttl=60)
+    assert first.fingerprint == "p1" and first.payload == {"a": 1}
+    assert second.fingerprint == "p2"
+    assert queue.claim("sw", "w3", ttl=60) is None, "nothing left to claim"
+
+    queue.complete("sw", "p1", "w1", fresh_evaluations=3)
+    queue.complete("sw", "p2", "w2")
+    assert queue.queue_counts("sw") == {"done": 2}
+    rows = {p["fingerprint"]: p for p in store.points("sw")}
+    assert rows["p1"]["fresh_evaluations"] == 3
+    store.close()
+
+
+def test_lease_expiry_requeues_and_reclaims(tmp_path):
+    store = SQLiteStore(tmp_path / "q.sqlite")
+    queue = ensure_queue(store)
+    queue.enqueue_points("sw", {"p1": {}})
+    stale = queue.claim("sw", "w1", ttl=0.05)
+    assert stale is not None
+    assert queue.claim("sw", "w2", ttl=60) is None, "lease still held"
+    time.sleep(0.1)
+    assert queue.requeue_expired("sw") == 1
+    fresh = queue.claim("sw", "w2", ttl=60)
+    assert fresh is not None and fresh.worker_id == "w2"
+    assert fresh.attempts == 2, "attempt count survives the requeue"
+    store.close()
+
+
+def test_expired_lease_is_directly_claimable_without_requeue(tmp_path):
+    store = SQLiteStore(tmp_path / "q.sqlite")
+    queue = ensure_queue(store)
+    queue.enqueue_points("sw", {"p1": {}})
+    queue.claim("sw", "w1", ttl=0.01)
+    time.sleep(0.05)
+    taken = queue.claim("sw", "w2", ttl=60)
+    assert taken is not None and taken.worker_id == "w2"
+    store.close()
+
+
+def test_heartbeat_extends_only_held_leases(tmp_path):
+    store = SQLiteStore(tmp_path / "q.sqlite")
+    queue = ensure_queue(store)
+    queue.enqueue_points("sw", {"p1": {}})
+    point = queue.claim("sw", "w1", ttl=0.2)
+    assert queue.heartbeat("sw", point.fingerprint, "w1", ttl=60) is True
+    assert queue.heartbeat("sw", point.fingerprint, "w2", ttl=60) is False
+    assert queue.requeue_expired("sw") == 0, "renewed lease must not expire"
+    store.close()
+
+
+def test_release_worker_requeues_only_that_workers_claims(tmp_path):
+    store = SQLiteStore(tmp_path / "q.sqlite")
+    queue = ensure_queue(store)
+    queue.enqueue_points("sw", {"p1": {}, "p2": {}})
+    queue.claim("sw", "dead", ttl=3600)
+    queue.claim("sw", "alive", ttl=3600)
+    assert store.release_worker("sw", "dead") == 1
+    counts = queue.queue_counts("sw")
+    assert counts == {"pending": 1, "claimed": 1}
+    store.close()
+
+
+def test_fail_requeues_until_max_attempts_then_parks(tmp_path):
+    store = SQLiteStore(tmp_path / "q.sqlite")
+    queue = ensure_queue(store)
+    queue.enqueue_points("sw", {"p1": {}})
+    point = queue.claim("sw", "w1", ttl=60)
+    assert (
+        queue.fail("sw", point.fingerprint, "w1", "boom", max_attempts=2)
+        == "pending"
+    )
+    point = queue.claim("sw", "w1", ttl=60)
+    assert point.attempts == 2
+    assert (
+        queue.fail("sw", point.fingerprint, "w1", "boom again", max_attempts=2)
+        == "failed"
+    )
+    assert queue.claim("sw", "w1", ttl=60) is None
+    rows = store.points("sw")
+    assert rows[0]["status"] == "failed" and "boom again" in rows[0]["error"]
+    store.close()
+
+
+def test_fail_from_a_stolen_lease_cannot_clobber_the_row(tmp_path):
+    """A stalled worker whose lease expired and was re-claimed (or even
+    completed) by a sibling must not flip the row when it finally errors."""
+    store = SQLiteStore(tmp_path / "q.sqlite")
+    queue = ensure_queue(store)
+    queue.enqueue_points("sw", {"p1": {}})
+    queue.claim("sw", "slow", ttl=0.01)
+    time.sleep(0.05)
+    queue.claim("sw", "fast", ttl=60)  # steals the expired lease
+    queue.complete("sw", "p1", "fast")
+    # The stalled worker reports its (now irrelevant) failure.
+    assert queue.fail("sw", "p1", "slow", "late boom", max_attempts=2) == "done"
+    rows = store.points("sw")
+    assert rows[0]["status"] == "done" and rows[0]["error"] is None
+    # Same protection while the sibling still holds the claim.
+    queue.enqueue_points("sw", {"p2": {}})
+    queue.claim("sw", "slow", ttl=0.01)
+    time.sleep(0.05)
+    queue.claim("sw", "fast", ttl=60)
+    assert (
+        queue.fail("sw", "p2", "slow", "late boom", max_attempts=2) == "claimed"
+    )
+    rows = {p["fingerprint"]: p for p in store.points("sw")}
+    assert rows["p2"]["status"] == "claimed"
+    assert rows["p2"]["worker_id"] == "fast"
+    store.close()
+
+
+def test_mark_done_precompletes_points(tmp_path):
+    store = SQLiteStore(tmp_path / "q.sqlite")
+    queue = ensure_queue(store)
+    queue.enqueue_points("sw", {"p1": {}, "p2": {}})
+    assert store.mark_done("sw", ["p1"]) == 1
+    assert store.mark_done("sw", ["p1"]) == 0, "already done: no flip"
+    assert queue.claim("sw", "w1", ttl=60).fingerprint == "p2"
+    store.close()
+
+
+# ------------------------------------- FitnessCache on a sqlite backend
+def test_fitness_cache_round_trip_on_sqlite(tmp_path):
+    path = tmp_path / "cache.sqlite"
+    key = (("a", "b", "c", "d", 1),)
+    cache = FitnessCache(path=path, namespace="ns1")
+    cache.put(key, 0.5)
+    cache.put((("e", "f", "g", "h", 0),), (0.1, 0.2))  # vector fitness
+
+    reloaded = FitnessCache(path=path, namespace="ns1")
+    assert reloaded.get(key) == 0.5
+    assert reloaded.get((("e", "f", "g", "h", 0),)) == (0.1, 0.2)
+
+    FitnessCache(path=path, namespace="ns1").wipe_disk()
+    assert FitnessCache(path=path, namespace="ns1").get(key) is None
+
+
+def _cache_writer(path: str, key_tuple, value: float) -> None:
+    cache = FitnessCache(path=path, namespace="shared")
+    cache.put(key_tuple, value)
+
+
+def test_fitness_cache_read_through_sees_sibling_process_writes(tmp_path):
+    path = str(tmp_path / "cache.sqlite")
+    key = (("x", "y", "z", "w", 1),)
+    reader = FitnessCache(path=path, namespace="shared")
+    assert reader.get(key) is None, "cold cache misses"
+
+    process = multiprocessing.Process(
+        target=_cache_writer, args=(path, key, 0.75)
+    )
+    process.start()
+    process.join()
+    assert process.exitcode == 0
+
+    # The reader's in-memory snapshot predates the write; read-through
+    # must find the sibling's entry instead of reporting a miss.
+    assert reader.get(key) == 0.75
+    assert reader.hits == 1
+
+
+def test_fitness_cache_on_json_keeps_load_once_semantics(tmp_path):
+    path = str(tmp_path / "cache.json")
+    key = (("x", "y", "z", "w", 1),)
+    reader = FitnessCache(path=path, namespace="shared")
+    FitnessCache(path=path, namespace="shared").put(key, 0.75)
+    # JSON is a snapshot medium: the pre-existing reader does not see
+    # later writers (that is what the sqlite backend is for).
+    assert reader.get(key) is None
+
+
+def test_fitness_cache_flush_failure_keeps_entries_dirty(tmp_path):
+    """A failed backend write must not drop entries from future flushes."""
+
+    class FlakyStore(SQLiteStore):
+        def __init__(self, path):
+            super().__init__(path)
+            self.fail_next = False
+
+        def put_many(self, namespace, entries):
+            if self.fail_next:
+                self.fail_next = False
+                raise StoreError("simulated busy store")
+            super().put_many(namespace, entries)
+
+    backend = FlakyStore(tmp_path / "cache.sqlite")
+    cache = FitnessCache(
+        path=tmp_path / "cache.sqlite", namespace="ns", backend=backend
+    )
+    key = (("a", "b", "c", "d", 0),)
+    backend.fail_next = True
+    with pytest.raises(StoreError):
+        cache.put(key, 0.5)  # write-through flush fails
+    cache.flush()  # next flush must retry the same entry
+    reloaded = FitnessCache(path=tmp_path / "cache.sqlite", namespace="ns")
+    assert reloaded.get(key) == 0.5
+
+
+def test_fitness_cache_pickle_drops_backend(tmp_path):
+    cache = FitnessCache(path=tmp_path / "cache.sqlite", namespace="ns")
+    cache.put((("a", "b", "c", "d", 0),), 0.5)
+    clone = pickle.loads(pickle.dumps(cache))
+    assert clone.path is None and clone.backend is None
+    clone.put((("x", "y", "z", "w", 1),), 0.1)  # must not touch the store
+    fresh = FitnessCache(path=tmp_path / "cache.sqlite", namespace="ns")
+    assert fresh.get((("x", "y", "z", "w", 1),)) is None
