@@ -21,7 +21,7 @@ from typing import Any, Sequence
 
 from repro.ec.alternatives import HillClimber, RandomSearch, SimulatedAnnealing
 from repro.ec.autolock import AutoLock, AutoLockConfig
-from repro.ec.evaluator import Evaluator, ProcessPoolEvaluator, SerialEvaluator
+from repro.ec.evaluator import AsyncEvaluator, Evaluator, SerialEvaluator
 from repro.ec.fitness import (
     DEFAULT_ATTACK_SEED,
     FitnessCache,
@@ -137,8 +137,16 @@ def _spec_fitness(spec, circuit: Netlist, attack_seed: int) -> SpecFitness:
 
 
 def _own_evaluator(spec) -> Evaluator:
+    """The evaluator an engine builds when no shared one is injected.
+
+    ``AsyncEvaluator`` serves both loop modes (its batch API is the
+    process-pool evaluator's), so any parallel or steady-state spec gets
+    one; a purely serial sync spec keeps the in-process evaluator.
+    """
+    if spec.resolved_async_mode():
+        return AsyncEvaluator(max(1, spec.workers))
     if spec.workers and spec.workers >= 2:
-        return ProcessPoolEvaluator(spec.workers)
+        return AsyncEvaluator(spec.workers)
     return SerialEvaluator()
 
 
@@ -155,8 +163,9 @@ class GaEngine:
             ) -> EngineOutcome:
         config = _config_from_params(
             GaConfig, dict(spec.engine_params),
-            reserved=("key_length", "seed"), kind="ga",
+            reserved=("key_length", "seed", "async_mode"), kind="ga",
             key_length=spec.key_length, seed=spec.seed,
+            async_mode=spec.resolved_async_mode(),
         )
         fitness = _spec_fitness(spec, circuit, _attack_seed(spec))
         owns = evaluator is None
@@ -238,11 +247,12 @@ class AutoLockEngine:
         params.setdefault("fitness_ensemble", attack_params.get("ensemble", 1))
         config = _config_from_params(
             AutoLockConfig, params,
-            reserved=("key_length", "seed", "workers", "cache_path", "store"),
+            reserved=("key_length", "seed", "workers", "cache_path", "store",
+                      "async_mode"),
             kind="autolock",
             key_length=spec.key_length, seed=spec.seed,
             workers=spec.workers, cache_path=spec.cache_path,
-            store=spec.store,
+            store=spec.store, async_mode=spec.resolved_async_mode(),
         )
         result = AutoLock(config).run(circuit, evaluator=evaluator)
         fresh = result.fitness_evaluations + result.report_evaluations
@@ -295,8 +305,10 @@ class Nsga2Engine:
             if key in params
         }
         config = _config_from_params(
-            Nsga2Config, params, reserved=("key_length", "seed"), kind="nsga2",
+            Nsga2Config, params,
+            reserved=("key_length", "seed", "async_mode"), kind="nsga2",
             key_length=spec.key_length, seed=spec.seed,
+            async_mode=spec.resolved_async_mode(),
         )
         # Every attack_params entry beyond the predictor choice is forwarded
         # to the MuxLink predictor (epochs, ensemble, ...) so the fingerprint
@@ -358,9 +370,11 @@ class TrajectorySearchEngine:
     """Adapter shared by the single-trajectory baselines (E11).
 
     Wraps :class:`RandomSearch` / :class:`HillClimber` /
-    :class:`SimulatedAnnealing` behind the uniform engine interface;
-    these searchers evaluate one genotype at a time, so the population
-    ``evaluator`` (if any) is unused.
+    :class:`SimulatedAnnealing` behind the uniform engine interface.
+    The searchers drive the shared search loop, so a future-capable
+    ``evaluator`` plus ``spec.async_mode`` enables steady-state
+    pipelining where the search semantics allow it (random search); the
+    sequential searches run one evaluation at a time either way.
     """
 
     def __init__(self, searcher_cls) -> None:
@@ -370,16 +384,28 @@ class TrajectorySearchEngine:
     def run(self, spec, circuit: Netlist, evaluator: Evaluator | None = None
             ) -> EngineOutcome:
         params = dict(spec.engine_params)
+        if "async_mode" in params:
+            raise SpecError(
+                f"{self.name} engine_params may not set async_mode; "
+                "use the spec-level async_mode field"
+            )
         try:
             searcher = self.searcher_cls(
-                key_length=spec.key_length, seed=spec.seed, **params
+                key_length=spec.key_length, seed=spec.seed,
+                async_mode=spec.resolved_async_mode(), **params
             )
         except TypeError as exc:
             raise SpecError(
                 f"unknown {self.name} engine_params {sorted(params)}: {exc}"
             ) from exc
         fitness = _spec_fitness(spec, circuit, _attack_seed(spec))
-        result = searcher.run(circuit, fitness)
+        owns = evaluator is None
+        evaluator = evaluator if evaluator is not None else _own_evaluator(spec)
+        try:
+            result = searcher.run(circuit, fitness, evaluator=evaluator)
+        finally:
+            if owns:
+                evaluator.close()
         return EngineOutcome(
             engine=self.name,
             best_genotype=result.best_genotype,

@@ -34,7 +34,7 @@ from repro.api.engines import EngineOutcome
 from repro.api.spec import ExperimentSpec, SweepSpec
 from repro.attacks.base import AttackReport
 from repro.circuits import load_circuit
-from repro.ec.evaluator import Evaluator, ProcessPoolEvaluator, SerialEvaluator
+from repro.ec.evaluator import AsyncEvaluator, Evaluator, SerialEvaluator
 from repro.ec.fitness import FitnessCache
 from repro.errors import SpecError
 from repro.locking.base import LockedCircuit
@@ -152,6 +152,8 @@ class RunResult:
             parts.append(f"best={engine['best_fitness']:.3f}")
         if engine and "accuracy_drop_pp" in engine:
             parts.append(f"drop={engine['accuracy_drop_pp']:+.1f}pp")
+        if self.record.get("async_mode"):
+            parts.append("loop=async")
         parts.append(f"fresh={self.fresh_evaluations}")
         if self.from_cache:
             parts.append("(cached)")
@@ -266,6 +268,9 @@ def run_experiment(
         "fingerprint": spec.fingerprint(),
         "tag": spec.tag,
         "kind": "engine" if spec.engine else "static",
+        # The resolved search-loop mode (None for static specs): recorded
+        # so artifacts say which pipeline produced an engine result.
+        "async_mode": spec.resolved_async_mode() if spec.engine else None,
         "spec": spec.deterministic_dict(),
         "attack": _attack_record(attack_report) if attack_report else None,
         "engine": dict(outcome.record, engine=outcome.engine) if outcome else None,
@@ -303,6 +308,9 @@ def _write_single_run_artifacts(
         spec=result.spec.to_dict(),
         fingerprint=result.fingerprint,
         fresh_evaluations=result.fresh_evaluations,
+        async_mode=(
+            result.spec.resolved_async_mode() if result.spec.engine else None
+        ),
     )
     result.record["manifest"] = str(manifest)
 
@@ -382,14 +390,35 @@ def run_sweep(
 
     workers = sweep.workers if sweep.workers is not None else sweep.base.workers
     owns_evaluator = evaluator is None
-    if evaluator is None:
+    pool: AsyncEvaluator | None = None
+    serial: SerialEvaluator | None = None
+    if owns_evaluator:
         # Only engine points feed populations to the evaluator; a purely
         # static sweep should not pay process-pool startup for nothing.
-        needs_pool = (
-            workers and workers >= 2
-            and any(spec.engine is not None for spec in specs)
+        # Steady-state points need a future-capable evaluator even at
+        # one worker, and AsyncEvaluator's batch API serves parallel
+        # sync points of the same sweep through the same pool — but
+        # serial sync points stay on the in-process evaluator rather
+        # than paying IPC to a one-worker pool.
+        serial = SerialEvaluator()
+        engine_points = [spec for spec in specs if spec.engine is not None]
+        needs_pool = engine_points and (
+            (workers and workers >= 2)
+            or any(spec.resolved_async_mode() for spec in engine_points)
         )
-        evaluator = ProcessPoolEvaluator(workers) if needs_pool else SerialEvaluator()
+        if needs_pool:
+            pool = AsyncEvaluator(max(1, workers or 1))
+
+    def _evaluator_for(spec: ExperimentSpec) -> Evaluator:
+        if not owns_evaluator:
+            return evaluator  # caller-provided: one evaluator for all
+        if (
+            pool is not None
+            and spec.engine is not None
+            and ((workers and workers >= 2) or spec.resolved_async_mode())
+        ):
+            return pool
+        return serial
     memo = (
         FitnessCache(
             path=sweep.cache_path,
@@ -405,14 +434,16 @@ def run_sweep(
     try:
         for spec in specs:
             result = run_experiment(
-                spec, evaluator=evaluator, experiment_cache=memo
+                spec, evaluator=_evaluator_for(spec), experiment_cache=memo
             )
             results.append(result)
             if writer is not None:
                 writer.write(result.record)
     finally:
         if owns_evaluator:
-            evaluator.close()
+            if pool is not None:
+                pool.close()
+            serial.close()
 
     manifest_path = results_path = None
     if writer is not None:
@@ -421,6 +452,7 @@ def run_sweep(
             n_points=len(specs),
             workers=workers,
             cache_path=sweep.cache_path,
+            async_points=sum(1 for s in specs if s.resolved_async_mode()),
             fresh_evaluations=sum(r.fresh_evaluations for r in results),
             replayed_from_cache=sum(1 for r in results if r.from_cache),
         )

@@ -86,6 +86,14 @@ class ExperimentSpec:
     #: ``None`` means "derived default" (spec.seed for static runs, the
     #: engines' fixed fitness seed otherwise).
     attack_seed: int | None = None
+    #: search-loop mode for engine specs: ``True`` = steady-state
+    #: (async), ``False`` = sync-generational, ``None`` = steady-state
+    #: iff ``workers > 1``. The *resolved* mode feeds the fingerprint
+    #: (see :meth:`resolved_async_mode`) because it changes the search
+    #: trajectory — while the resolved result is still independent of
+    #: the worker count, since async runs integrate completions in
+    #: submission order.
+    async_mode: bool | None = None
     workers: int = 1
     cache_path: str | None = None
     #: store backend name for ``cache_path`` (``repro.registry.STORES``);
@@ -129,6 +137,10 @@ class ExperimentSpec:
             raise SpecError(f"key_length must be >= 1, got {self.key_length}")
         if self.workers < 1:
             raise SpecError(f"workers must be >= 1, got {self.workers}")
+        if self.async_mode is not None and not isinstance(self.async_mode, bool):
+            raise SpecError(
+                f"async_mode must be true, false, or null, got {self.async_mode!r}"
+            )
         SCHEMES.get(self.scheme)
         if self.store is not None:
             STORES.get(self.store)
@@ -189,11 +201,33 @@ class ExperimentSpec:
         return cls.from_json(_read_spec_file(path, "experiment spec"))
 
     # -- identity -------------------------------------------------------
+    def resolved_async_mode(self) -> bool:
+        """The search-loop mode this spec actually runs.
+
+        Explicit ``async_mode`` wins; ``None`` defaults to steady-state
+        for ``workers > 1``. Static specs (``engine=None``) have no
+        search loop and always resolve ``False``, so their fingerprints
+        stay independent of the worker count.
+        """
+        if self.engine is None:
+            return False
+        if self.async_mode is not None:
+            return bool(self.async_mode)
+        return self.workers > 1
+
     def deterministic_dict(self) -> dict[str, Any]:
-        """The spec minus execution-only fields (workers, cache_path)."""
+        """The spec minus execution-only fields (workers, cache_path).
+
+        ``async_mode`` is recorded *resolved*: the steady-state and
+        generational loops walk different search trajectories, so the
+        mode determines the result — but the resolved value is the same
+        at any worker count (async integrates completions in submission
+        order), which keeps fingerprints execution-independent.
+        """
         data = self.to_dict()
         for key in _EXECUTION_FIELDS:
             data.pop(key, None)
+        data["async_mode"] = self.resolved_async_mode()
         return data
 
     def fingerprint(self) -> str:
@@ -253,6 +287,11 @@ class SweepSpec:
     cache_path: str | None = None
     #: store backend for ``cache_path`` (see ``ExperimentSpec.store``).
     store: str | None = None
+    #: search-loop mode applied to every expanded point (see
+    #: ``ExperimentSpec.async_mode``). Distributed engine sweeps should
+    #: set this explicitly: point fingerprints embed the *resolved* mode,
+    #: so pinning it keeps queue rows stable across worker counts.
+    async_mode: bool | None = None
 
     def __post_init__(self) -> None:
         axes = {}
@@ -287,6 +326,8 @@ class SweepSpec:
             shared["cache_path"] = self.cache_path
         if self.store is not None:
             shared["store"] = self.store
+        if self.async_mode is not None:
+            shared["async_mode"] = self.async_mode
 
         specs: list[ExperimentSpec] = []
         keys = list(self.axes)
@@ -352,17 +393,30 @@ class SweepSpec:
 
         Covers the base spec's deterministic fields plus the axes — not
         the name, worker counts, or store location — so the same sweep
-        resumed from a different machine or with a different worker count
-        lands on the same ``sweep_points`` queue rows.
+        resumed from a different machine or with a different worker
+        count lands on the same ``sweep_points`` queue rows. One caveat:
+        for engine points whose ``async_mode`` is unset, the worker
+        count picks the loop mode, which changes the points' results and
+        fingerprints — so the resolved per-point modes are folded in
+        here whenever any point runs steady-state, keeping a sweep's id
+        and its queue rows consistent. Distributed engine campaigns that
+        want resume to survive worker-count changes should pin
+        ``async_mode`` explicitly.
         """
-        canonical = json.dumps(
-            {
-                "base": self.base.deterministic_dict(),
-                "axes": {k: list(v) for k, v in self.axes.items()},
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        content: dict[str, Any] = {
+            "base": self.base.deterministic_dict(),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+        }
+        if self.async_mode is not None:
+            # A sweep-level loop-mode override changes every point's
+            # resolved mode (and therefore its records) — a different
+            # sweep, unlike worker counts or store locations.
+            content["async_mode"] = self.async_mode
+        else:
+            resolved = [spec.resolved_async_mode() for spec in self.expand()]
+            if any(resolved):
+                content["resolved_async_points"] = resolved
+        canonical = json.dumps(content, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
     # -- serialisation --------------------------------------------------
@@ -374,6 +428,7 @@ class SweepSpec:
             "workers": self.workers,
             "cache_path": self.cache_path,
             "store": self.store,
+            "async_mode": self.async_mode,
         }
 
     @classmethod
@@ -382,6 +437,7 @@ class SweepSpec:
             raise SpecError(f"sweep spec must be a JSON object, got {data!r}")
         unknown = set(data) - {
             "name", "base", "axes", "workers", "cache_path", "store",
+            "async_mode",
         }
         if unknown:
             raise SpecError(f"unknown SweepSpec fields: {sorted(unknown)}")
@@ -394,6 +450,7 @@ class SweepSpec:
             workers=data.get("workers"),
             cache_path=data.get("cache_path"),
             store=data.get("store"),
+            async_mode=data.get("async_mode"),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

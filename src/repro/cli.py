@@ -11,7 +11,9 @@ Subcommands
              worker processes cooperating through a SQLite store
 ``worker``   join a distributed sweep as one worker process (any machine
              that can reach the store file)
-``store``    inspect a shared experiment store (``store status``)
+``store``    operate on a shared experiment store: ``store status``
+             (inspect), ``store retry`` (requeue failed sweep points),
+             ``store gc`` (drop unreachable experiment records + compact)
 ``plugins``  list every registered scheme / attack / predictor / engine /
              metric / store backend
 ``info``     print statistics of a benchmark circuit or the whole suite
@@ -124,6 +126,7 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         seed=args.seed,
         # Historical CLI contract: workers < 2 (incl. 0/negative) = serial.
         workers=max(1, args.workers),
+        async_mode=args.async_mode,
         cache_path=args.cache,
     )
     result = run_experiment(spec)
@@ -156,6 +159,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             spec = spec.with_updates(cache_path=args.cache)
         if args.store is not None:
             spec = spec.with_updates(store=args.store)
+        if args.async_mode is not None:
+            spec = spec.with_updates(async_mode=args.async_mode)
         result = run_experiment(spec, out_dir=args.out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -182,6 +187,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             overrides["cache_path"] = args.cache
         if args.store is not None:
             overrides["store"] = args.store
+        if args.async_mode is not None:
+            overrides["async_mode"] = args.async_mode
         if overrides:
             sweep = dataclasses.replace(sweep, **overrides)
         result = run_sweep(
@@ -297,6 +304,84 @@ def _cmd_store_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_retry(args: argparse.Namespace) -> int:
+    """Requeue failed sweep points.
+
+    Exit codes: 0 = at least one point requeued; 1 = the sweep exists but
+    has nothing failed to retry; 2 = missing store, queue-less backend,
+    or unknown sweep id.
+    """
+    import sqlite3
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.store import ensure_queue, open_store
+
+    if not Path(args.path).exists():
+        print(f"error: no store at {args.path!r}", file=sys.stderr)
+        return 2
+    try:
+        store = open_store(args.path, args.backend)
+        queue = ensure_queue(store)
+        counts = queue.queue_counts(args.sweep_id)
+        if not counts:
+            print(
+                f"error: store has no sweep {args.sweep_id!r} "
+                "(see `autolock store status`)",
+                file=sys.stderr,
+            )
+            return 2
+        requeued = queue.retry_failed(args.sweep_id)
+        store.close()
+    except (ReproError, sqlite3.DatabaseError) as exc:
+        print(f"error: cannot retry on {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    if requeued == 0:
+        print(
+            f"sweep {args.sweep_id}: no failed points to retry "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(counts.items()))})"
+        )
+        return 1
+    print(
+        f"sweep {args.sweep_id}: requeued {requeued} failed point(s) "
+        "with a fresh attempt budget; start workers (`autolock worker` or "
+        "`autolock sweep --workers-distributed N --resume`) to run them"
+    )
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    import json as _json
+    import sqlite3
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.store import gc_store
+
+    if not Path(args.path).exists():
+        print(f"error: no store at {args.path!r}", file=sys.stderr)
+        return 2
+    try:
+        report = gc_store(args.path, args.backend)
+    except (ReproError, sqlite3.DatabaseError) as exc:
+        print(f"error: cannot gc store {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"store: {report['path']}")
+    print(
+        f"experiment records: {report['examined']} examined, "
+        f"{report['dropped']} dropped (fingerprint no longer resolves), "
+        f"{report['kept']} kept"
+    )
+    print(
+        f"compacted: {report['bytes_before']} -> {report['bytes_after']} "
+        f"bytes ({report['bytes_reclaimed']} reclaimed)"
+    )
+    return 0
+
+
 def _cmd_plugins(args: argparse.Namespace) -> int:
     from repro import registry
 
@@ -314,6 +399,22 @@ def _cmd_plugins(args: argparse.Namespace) -> int:
             target = getattr(factory, "__qualname__", repr(factory))
             print(f"  {name:<22} {target}")
     return 0
+
+
+def _add_loop_mode_flags(parser: argparse.ArgumentParser) -> None:
+    """``--async`` / ``--sync``: pick the engine search-loop mode."""
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--async", dest="async_mode", action="store_true", default=None,
+        help="steady-state search loop: breed and submit offspring the "
+        "moment any evaluation completes (default when workers > 1; "
+        "results are deterministic at any worker count)",
+    )
+    mode.add_argument(
+        "--sync", dest="async_mode", action="store_false", default=None,
+        help="classic generational loop, byte-identical to a serial run "
+        "(default when workers <= 1)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -381,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
         "on repeated runs (delete the file to start fresh)",
     )
     p_evolve.add_argument("--output", default=None)
+    _add_loop_mode_flags(p_evolve)
     p_evolve.set_defaults(func=_cmd_evolve)
 
     p_run = sub.add_parser(
@@ -398,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="store backend for the cache path (default: inferred from "
         "the path suffix)",
     )
+    _add_loop_mode_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser(
@@ -427,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
         "rescheduled — finished experiment records replay from the store "
         "either way, with zero fresh attack evaluations",
     )
+    _add_loop_mode_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_worker = sub.add_parser(
@@ -482,6 +586,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     p_status.set_defaults(func=_cmd_store_status)
+    p_retry = store_sub.add_parser(
+        "retry",
+        help="requeue a sweep's failed points with a fresh attempt budget",
+        description="Flip every 'failed' point of one sweep back to "
+        "'pending' (attempts reset, error cleared), then exit. Exit "
+        "codes: 0 = requeued >= 1 point, 1 = nothing failed to retry, "
+        "2 = missing store / unknown sweep / no work queue.",
+    )
+    p_retry.add_argument("path", help="store file path (e.g. sweep.sqlite)")
+    p_retry.add_argument(
+        "sweep_id",
+        help="sweep fingerprint (printed by `autolock sweep` and "
+        "`autolock store status`)",
+    )
+    p_retry.add_argument(
+        "--backend", default=None, metavar="BACKEND",
+        help="store backend name (default: inferred from the path suffix)",
+    )
+    p_retry.set_defaults(func=_cmd_store_retry)
+    p_gc = store_sub.add_parser(
+        "gc",
+        help="drop unreachable experiment records and compact the store",
+        description="Garbage-collect the experiment-record namespace: "
+        "drop records whose stored spec no longer fingerprints to its "
+        "own key (schema drift, removed plugins, unparsable specs), then "
+        "compact the backing file (VACUUM on SQLite) and report the "
+        "bytes reclaimed. Per-genotype fitness namespaces are never "
+        "touched.",
+    )
+    p_gc.add_argument("path", help="store file path")
+    p_gc.add_argument(
+        "--backend", default=None, metavar="BACKEND",
+        help="store backend name (default: inferred from the path suffix)",
+    )
+    p_gc.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_gc.set_defaults(func=_cmd_store_gc)
 
     p_plugins = sub.add_parser(
         "plugins", help="list every registered plugin by registry"

@@ -7,7 +7,11 @@ A :class:`Worker` is one OS process cooperating on one sweep. Its loop:
 2. run it through the ordinary :func:`repro.api.runner.run_experiment`
    against a store-backed experiment cache — the finished record streams
    straight into the shared store, and fitness/report namespaces are
-   shared too, so sibling workers reuse each other's attack evaluations;
+   shared too, so sibling workers reuse each other's attack evaluations.
+   Engine points that ask for parallel or steady-state evaluation run
+   their (async) search loops on **one** worker-owned
+   :class:`~repro.ec.evaluator.AsyncEvaluator`, so the process pool is
+   paid for once per worker, not once per point;
 3. *heartbeat* the lease from a background thread while the evaluation
    runs, so slow points are not mistaken for dead workers;
 4. *complete* the point (recording how many fresh attack evaluations it
@@ -32,6 +36,7 @@ from typing import Any
 
 from repro.api.runner import EXPERIMENT_NAMESPACE, run_experiment
 from repro.api.spec import ExperimentSpec
+from repro.ec.evaluator import AsyncEvaluator, Evaluator
 from repro.ec.fitness import FitnessCache
 from repro.store import STATUS_CLAIMED, STATUS_PENDING, ensure_queue, open_store
 
@@ -125,6 +130,10 @@ class Worker:
             namespace=EXPERIMENT_NAMESPACE,
         )
         heartbeat_interval = max(0.05, self.lease_ttl / 3.0)
+        #: lazily-built pool shared by every parallel/steady-state engine
+        #: point this worker runs (sized by the first such point; results
+        #: are worker-count independent, so reusing it is always safe).
+        shared_evaluator: Evaluator | None = None
         try:
             while True:
                 if (
@@ -156,12 +165,30 @@ class Worker:
                 if self.backend is not None:
                     overrides["store"] = self.backend
                 spec = spec.with_updates(**overrides)
+                needs_pool = spec.engine is not None and (
+                    spec.workers >= 2 or spec.resolved_async_mode()
+                )
+                if needs_pool and (
+                    shared_evaluator is None
+                    or shared_evaluator.workers < spec.workers
+                ):
+                    # First pool-needing point, or one asking for more
+                    # parallelism than the current pool offers: (re)build.
+                    # Results are worker-count independent, so resizing
+                    # mid-sweep is always safe.
+                    if shared_evaluator is not None:
+                        shared_evaluator.close()
+                    shared_evaluator = AsyncEvaluator(max(1, spec.workers))
                 heartbeat = _LeaseHeartbeat(
                     queue, point, heartbeat_interval, self.lease_ttl
                 )
                 try:
                     with heartbeat:
-                        result = run_experiment(spec, experiment_cache=memo)
+                        result = run_experiment(
+                            spec,
+                            evaluator=shared_evaluator if needs_pool else None,
+                            experiment_cache=memo,
+                        )
                 except Exception as exc:  # noqa: BLE001 - point-level isolation
                     if heartbeat.lost:
                         # Our lease was stolen mid-run; the point belongs
@@ -188,6 +215,8 @@ class Worker:
                 report.points_completed += 1
                 report.fresh_evaluations += result.fresh_evaluations
         finally:
+            if shared_evaluator is not None:
+                shared_evaluator.close()
             store.close()
         report.wall_s = time.perf_counter() - started
         return report

@@ -8,9 +8,11 @@ and standard evolutionary operators search the locking-design space.
 * :mod:`repro.ec.genotype` — genotype sampling, validation and repair
 * :mod:`repro.ec.operators` — selection / crossover / mutation variants
 * :mod:`repro.ec.fitness` — attack-backed fitness functions (with cache)
-* :mod:`repro.ec.evaluator` — batched serial/parallel population evaluation
-* :mod:`repro.ec.ga` — single-objective generational GA
+* :mod:`repro.ec.evaluator` — batched + futures-based population evaluation
+* :mod:`repro.ec.loop` — the unified sync/steady-state search loop core
+* :mod:`repro.ec.ga` — single-objective GA (a policy bundle over the loop)
 * :mod:`repro.ec.nsga2` — NSGA-II multi-objective engine
+* :mod:`repro.ec.alternatives` — single-trajectory baseline searches
 * :mod:`repro.ec.autolock` — the end-to-end pipeline of Fig. 1
 """
 
@@ -29,10 +31,21 @@ from repro.ec.operators import (
     select_tournament,
 )
 from repro.ec.evaluator import (
+    AsyncEvaluator,
     BatchStats,
     Evaluator,
     ProcessPoolEvaluator,
     SerialEvaluator,
+    supports_async,
+)
+from repro.ec.loop import (
+    LoopPolicy,
+    LoopState,
+    SearchLoop,
+    SelectionPolicy,
+    SurvivalPolicy,
+    VariationPolicy,
+    resolve_async,
 )
 from repro.ec.fitness import (
     DEFAULT_ATTACK_SEED,
@@ -77,6 +90,15 @@ __all__ = [
     "Evaluator",
     "SerialEvaluator",
     "ProcessPoolEvaluator",
+    "AsyncEvaluator",
+    "supports_async",
+    "SearchLoop",
+    "LoopPolicy",
+    "LoopState",
+    "SelectionPolicy",
+    "VariationPolicy",
+    "SurvivalPolicy",
+    "resolve_async",
     "GaConfig",
     "GaResult",
     "GenerationStats",

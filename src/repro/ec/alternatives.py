@@ -14,6 +14,14 @@ genotype, mutation and fitness machinery so the comparison isolates the
 * :class:`SimulatedAnnealing` — hill climbing with a geometric
   temperature schedule that accepts uphill moves early.
 
+All three are policy bundles over :class:`repro.ec.loop.SearchLoop`
+with a population of one: breeding proposes the next candidate, survival
+is the accept/reject rule. Random search pipelines freely in async mode
+(its candidates are independent, so the whole budget can be in flight);
+hill climbing and annealing are inherently sequential — each proposal
+depends on the previous verdict — so their async mode keeps one
+evaluation in flight and reproduces the serial trajectory exactly.
+
 All minimise fitness and return the same :class:`SearchResult` shape, so
 the heuristic-comparison bench (E11) can sweep them uniformly.
 """
@@ -21,11 +29,12 @@ the heuristic-comparison bench (E11) can sweep them uniformly.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.ec.evaluator import Evaluator, SerialEvaluator
 from repro.ec.genotype import random_genotype, repair_genotype
+from repro.ec.loop import LoopPolicy, LoopState, SearchLoop, resolve_async
 from repro.ec.operators import MutationConfig, mutate
 from repro.errors import EvolutionError
 from repro.locking.dmux import MuxGene
@@ -54,39 +63,181 @@ def _validated_budget(evaluations: int) -> int:
     return evaluations
 
 
-class RandomSearch:
+class TrajectoryPolicy(LoopPolicy):
+    """Shared policy scaffolding for the single-trajectory searches.
+
+    Population of one; every round breeds exactly one candidate, the
+    survival rule decides whether it replaces the incumbent, and the
+    trajectory records the reported fitness after every evaluation.
+    Subclasses implement :meth:`propose` (the next candidate) and
+    :meth:`challenge` (the accept/reject rule) and may override
+    :meth:`report` (what the trajectory tracks).
+    """
+
+    population_size = 1
+    offspring_count = 1
+    survival_needs_offspring_values = True
+    sequential_breeding = True
+
+    def __init__(self, searcher, original: Netlist) -> None:
+        self.searcher = searcher
+        self.original = original
+        self.max_evaluations = searcher.evaluations
+        self.trajectory: list[float] = []
+        self.best_genes: Genotype | None = None
+        self.best_fit = float("inf")
+        self.async_population: list[Genotype] = []
+        self.async_values: list[float] = []
+        # The survival protocol is simple enough here that the policy is
+        # its own survival strategy.
+        self.survival = self
+
+    # -- subclass hooks -------------------------------------------------
+    def propose(self, current: Genotype | None, rng) -> Genotype:
+        """The next candidate genotype."""
+        raise NotImplementedError
+
+    def challenge(self, current_fit: float, candidate_fit: float, rng) -> bool:
+        """True when the candidate replaces the incumbent."""
+        raise NotImplementedError
+
+    def report(self) -> float:
+        """The value the trajectory tracks (best-so-far by default)."""
+        return self.best_fit
+
+    # -- lifecycle ------------------------------------------------------
+    def initialize(self, rng) -> list[Genotype]:
+        return [self.propose(None, rng)]
+
+    def coerce(self, value) -> float:
+        return float(value)
+
+    def _observe(self, genes: Genotype, fit: float) -> None:
+        if fit < self.best_fit:
+            self.best_fit = fit
+            self.best_genes = list(genes)
+
+    # -- sync hooks -----------------------------------------------------
+    def on_evaluated(self, gen, population, values, batch, elapsed_s) -> None:
+        self._observe(population[0], values[0])
+        self.trajectory.append(self.report())
+
+    def should_stop(self, gen, population, values, n_evals):
+        return n_evals >= self.max_evaluations, False
+
+    def breed(self, n, population, values, rng) -> list[Genotype]:
+        return [self.propose(population[0], rng)]
+
+    def survive(self, population, values, offspring, off_values, rng):
+        self._observe(offspring[0], off_values[0])
+        if self.challenge(values[0], off_values[0], rng):
+            return list(offspring), list(off_values)
+        return population, values
+
+    def on_generation(self, gen, population, values, batch, elapsed_s) -> None:
+        self.trajectory.append(self.report())
+
+    # -- async hooks ----------------------------------------------------
+    def integrate_async(
+        self, genes, value, completed, rng, elapsed_s, totals
+    ) -> None:
+        self._observe(genes, value)
+        if not self.async_population:
+            self.async_population, self.async_values = [list(genes)], [value]
+        elif self.challenge(self.async_values[0], value, rng):
+            self.async_population, self.async_values = [list(genes)], [value]
+        self.trajectory.append(self.report())
+
+    def breed_async(self, rng) -> Genotype:
+        current = self.async_population[0] if self.async_population else None
+        return self.propose(current, rng)
+
+    def integrate(self, population, values, genes, value, rng):
+        raise NotImplementedError  # steady state handled in integrate_async
+
+    # -- result ---------------------------------------------------------
+    def result(self, state: LoopState) -> SearchResult:
+        assert self.best_genes is not None
+        return SearchResult(
+            best_genotype=self.best_genes,
+            best_fitness=self.best_fit,
+            evaluations=state.evaluations,
+            runtime_s=state.wall_s,
+            trajectory=self.trajectory,
+        )
+
+
+class _TrajectorySearch:
+    """Common driver for the three searchers below."""
+
+    #: overridden per searcher
+    name = "trajectory"
+
+    def _policy(self, original: Netlist) -> TrajectoryPolicy:
+        raise NotImplementedError
+
+    def run(
+        self,
+        original: Netlist,
+        fitness: Fitness,
+        evaluator: Evaluator | None = None,
+    ) -> SearchResult:
+        """Search lockings of ``original``; same contract as the GA's run.
+
+        The serial default reproduces the historical single-trajectory
+        loop exactly; an :class:`~repro.ec.evaluator.AsyncEvaluator`
+        enables steady-state pipelining where the search semantics allow
+        it (random search; the sequential searches stay one-in-flight).
+        """
+        rng = derive_rng(self.seed)
+        evaluator = evaluator if evaluator is not None else SerialEvaluator()
+        policy = self._policy(original)
+        loop = SearchLoop(
+            policy, evaluator,
+            async_mode=resolve_async(self.async_mode, evaluator),
+        )
+        state = loop.run(fitness, rng)
+        return policy.result(state)
+
+
+class RandomSearch(_TrajectorySearch):
     """Sample ``evaluations`` independent genotypes, keep the best."""
 
     name = "random_search"
 
-    def __init__(self, key_length: int, evaluations: int = 100, seed: int = 0):
+    def __init__(
+        self,
+        key_length: int,
+        evaluations: int = 100,
+        seed: int = 0,
+        async_mode: bool | None = None,
+    ):
         self.key_length = key_length
         self.evaluations = _validated_budget(evaluations)
         self.seed = seed
+        self.async_mode = async_mode
 
-    def run(self, original: Netlist, fitness: Fitness) -> SearchResult:
-        rng = derive_rng(self.seed)
-        started = time.perf_counter()
-        best_genes: Genotype | None = None
-        best_fit = float("inf")
-        trajectory: list[float] = []
-        for _ in range(self.evaluations):
-            genes = random_genotype(original, self.key_length, rng)
-            fit = float(fitness(genes))
-            if fit < best_fit:
-                best_fit, best_genes = fit, genes
-            trajectory.append(best_fit)
-        assert best_genes is not None
-        return SearchResult(
-            best_genotype=best_genes,
-            best_fitness=best_fit,
-            evaluations=self.evaluations,
-            runtime_s=time.perf_counter() - started,
-            trajectory=trajectory,
-        )
+    def _policy(self, original: Netlist) -> TrajectoryPolicy:
+        return _RandomSearchPolicy(self, original)
 
 
-class HillClimber:
+class _RandomSearchPolicy(TrajectoryPolicy):
+    """Candidates are independent draws — the whole budget may pipeline."""
+
+    sequential_breeding = False
+
+    @property
+    def async_backlog(self) -> int:
+        return self.max_evaluations
+
+    def propose(self, current, rng) -> Genotype:
+        return random_genotype(self.original, self.searcher.key_length, rng)
+
+    def challenge(self, current_fit, candidate_fit, rng) -> bool:
+        return candidate_fit < current_fit
+
+
+class HillClimber(_TrajectorySearch):
     """First-improvement local search over the mutation neighbourhood."""
 
     name = "hill_climber"
@@ -97,38 +248,39 @@ class HillClimber:
         evaluations: int = 100,
         mutation: MutationConfig | None = None,
         seed: int = 0,
+        async_mode: bool | None = None,
     ):
         self.key_length = key_length
         self.evaluations = _validated_budget(evaluations)
         self.mutation = mutation or MutationConfig(0.1, 0.15, 0.15)
         self.seed = seed
+        self.async_mode = async_mode
 
-    def run(self, original: Netlist, fitness: Fitness) -> SearchResult:
-        rng = derive_rng(self.seed)
-        started = time.perf_counter()
-        current = random_genotype(original, self.key_length, rng)
-        current_fit = float(fitness(current))
-        trajectory = [current_fit]
-        evaluations = 1
-        while evaluations < self.evaluations:
-            neighbour = repair_genotype(
-                original, mutate(original, current, self.mutation, rng), rng
-            )
-            fit = float(fitness(neighbour))
-            evaluations += 1
-            if fit < current_fit:
-                current, current_fit = neighbour, fit
-            trajectory.append(current_fit)
-        return SearchResult(
-            best_genotype=current,
-            best_fitness=current_fit,
-            evaluations=evaluations,
-            runtime_s=time.perf_counter() - started,
-            trajectory=trajectory,
+    def _policy(self, original: Netlist) -> TrajectoryPolicy:
+        return _HillClimberPolicy(self, original)
+
+
+class _HillClimberPolicy(TrajectoryPolicy):
+    """Neighbourhood proposals, strict-improvement acceptance.
+
+    The trajectory tracks the incumbent's fitness, which for strict
+    improvement is identical to best-so-far.
+    """
+
+    def propose(self, current, rng) -> Genotype:
+        if current is None:
+            return random_genotype(self.original, self.searcher.key_length, rng)
+        return repair_genotype(
+            self.original,
+            mutate(self.original, current, self.searcher.mutation, rng),
+            rng,
         )
 
+    def challenge(self, current_fit, candidate_fit, rng) -> bool:
+        return candidate_fit < current_fit
 
-class SimulatedAnnealing:
+
+class SimulatedAnnealing(_TrajectorySearch):
     """Metropolis acceptance with a geometric cooling schedule.
 
     Temperature starts at ``t_start`` (in fitness units — attack accuracy
@@ -146,6 +298,7 @@ class SimulatedAnnealing:
         t_end: float = 0.005,
         mutation: MutationConfig | None = None,
         seed: int = 0,
+        async_mode: bool | None = None,
     ):
         if t_start <= 0 or t_end <= 0 or t_end > t_start:
             raise EvolutionError(
@@ -157,36 +310,42 @@ class SimulatedAnnealing:
         self.t_end = t_end
         self.mutation = mutation or MutationConfig(0.1, 0.15, 0.15)
         self.seed = seed
+        self.async_mode = async_mode
 
-    def run(self, original: Netlist, fitness: Fitness) -> SearchResult:
-        rng = derive_rng(self.seed)
-        started = time.perf_counter()
-        current = random_genotype(original, self.key_length, rng)
-        current_fit = float(fitness(current))
-        best, best_fit = current, current_fit
-        trajectory = [best_fit]
-        evaluations = 1
+    def _policy(self, original: Netlist) -> TrajectoryPolicy:
+        return _AnnealingPolicy(self, original)
 
-        steps = max(1, self.evaluations - 1)
-        cooling = (self.t_end / self.t_start) ** (1.0 / steps)
-        temperature = self.t_start
-        while evaluations < self.evaluations:
-            neighbour = repair_genotype(
-                original, mutate(original, current, self.mutation, rng), rng
-            )
-            fit = float(fitness(neighbour))
-            evaluations += 1
-            delta = fit - current_fit
-            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                current, current_fit = neighbour, fit
-            if current_fit < best_fit:
-                best, best_fit = current, current_fit
-            trajectory.append(best_fit)
-            temperature = max(self.t_end, temperature * cooling)
-        return SearchResult(
-            best_genotype=best,
-            best_fitness=best_fit,
-            evaluations=evaluations,
-            runtime_s=time.perf_counter() - started,
-            trajectory=trajectory,
+
+class _AnnealingPolicy(TrajectoryPolicy):
+    """Metropolis acceptance; the geometric schedule cools once per step.
+
+    The uphill-acceptance variate is only drawn for worsening moves —
+    matching the historical short-circuit, which is what keeps the
+    trajectory byte-identical to the legacy implementation.
+    """
+
+    def __init__(self, searcher, original: Netlist) -> None:
+        super().__init__(searcher, original)
+        steps = max(1, searcher.evaluations - 1)
+        self._cooling = (searcher.t_end / searcher.t_start) ** (1.0 / steps)
+        self._temperature = searcher.t_start
+
+    def propose(self, current, rng) -> Genotype:
+        if current is None:
+            return random_genotype(self.original, self.searcher.key_length, rng)
+        return repair_genotype(
+            self.original,
+            mutate(self.original, current, self.searcher.mutation, rng),
+            rng,
         )
+
+    def challenge(self, current_fit, candidate_fit, rng) -> bool:
+        delta = candidate_fit - current_fit
+        accept = (
+            delta <= 0
+            or rng.random() < math.exp(-delta / self._temperature)
+        )
+        self._temperature = max(
+            self.searcher.t_end, self._temperature * self._cooling
+        )
+        return accept

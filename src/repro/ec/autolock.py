@@ -24,7 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.attacks.muxlink.attack import MuxLinkAttack
-from repro.ec.evaluator import Evaluator, ProcessPoolEvaluator, SerialEvaluator
+from repro.ec.evaluator import AsyncEvaluator, Evaluator, SerialEvaluator
 from repro.ec.fitness import FitnessCache, MuxLinkFitness, cache_namespace
 from repro.ec.ga import GaConfig, GaResult, GeneticAlgorithm
 from repro.ec.genotype import genotype_key, random_genotype
@@ -43,7 +43,12 @@ class AutoLockConfig:
 
     ``workers >= 2`` fans fitness evaluation out across that many worker
     processes (see :mod:`repro.ec.evaluator`); the default stays serial
-    and bit-identical to the historical loop. ``cache_path`` points the
+    and bit-identical to the historical loop. ``async_mode`` selects the
+    GA loop mode: ``None`` (default) runs the steady-state pipeline
+    whenever ``workers >= 2`` and the sync-generational loop otherwise;
+    ``False`` pins sync (byte-identical to serial at any worker count),
+    ``True`` pins steady state (deterministic at any worker count —
+    completions integrate in submission order). ``cache_path`` points the
     fitness *and* report caches at a JSON file persisted across runs,
     namespaced by circuit + attack configuration, so repeated runs and
     benchmark sweeps reuse prior attack evaluations.
@@ -62,11 +67,19 @@ class AutoLockConfig:
     report_ensemble: int = 3
     seed: int = 0
     workers: int = 1
+    async_mode: bool | None = None
+    async_backlog: int | None = None
     cache_path: str | Path | None = None
     #: store backend for ``cache_path`` (None = infer from suffix).
     store: str | None = None
 
-    def ga_config(self) -> GaConfig:
+    def resolved_async_mode(self) -> bool:
+        """The loop mode this config runs: explicit, else workers-derived."""
+        if self.async_mode is not None:
+            return bool(self.async_mode)
+        return bool(self.workers and self.workers >= 2)
+
+    def ga_config(self, async_mode: bool | None = None) -> GaConfig:
         return GaConfig(
             key_length=self.key_length,
             population_size=self.population_size,
@@ -76,6 +89,10 @@ class AutoLockConfig:
             mutation=self.mutation,
             elitism=self.elitism,
             seed=self.seed,
+            async_mode=(
+                self.resolved_async_mode() if async_mode is None else async_mode
+            ),
+            async_backlog=self.async_backlog,
         )
 
 
@@ -155,14 +172,19 @@ class AutoLock:
             attack_seed=seeds[1],
             cache=cache,
         )
+        # One resolution rule whether the evaluator is owned or injected:
+        # the config decides the loop mode (workers-derived when unset),
+        # so identical configs always walk identical trajectories. An
+        # injected evaluator that cannot serve the resolved mode raises
+        # (SearchLoop names the fix) instead of silently changing it.
+        use_async = cfg.resolved_async_mode()
         owns_evaluator = evaluator is None
-        if evaluator is None:
-            evaluator = (
-                ProcessPoolEvaluator(cfg.workers)
-                if cfg.workers and cfg.workers >= 2
-                else SerialEvaluator()
-            )
-        ga = GeneticAlgorithm(cfg.ga_config())
+        if owns_evaluator:
+            if use_async or (cfg.workers and cfg.workers >= 2):
+                evaluator = AsyncEvaluator(max(1, cfg.workers))
+            else:
+                evaluator = SerialEvaluator()
+        ga = GeneticAlgorithm(cfg.ga_config(async_mode=use_async))
         try:
             result = ga.run(
                 original, fitness, initial_population=initial,

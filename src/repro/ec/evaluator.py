@@ -25,6 +25,13 @@ Pass ``ProcessPoolEvaluator(workers=N)`` to ``GeneticAlgorithm.run`` /
 default preserves exact current behaviour. Fitness callables that cannot
 be pickled (lambdas, closures) degrade gracefully to in-process
 evaluation.
+
+:class:`AsyncEvaluator` adds the *futures* interface the steady-state
+:class:`~repro.ec.loop.SearchLoop` drives: ``submit`` one genotype, get a
+future back immediately, and keep breeding while the pool works. It is
+built on the same worker pool and blob-epoch plumbing as the batch
+evaluator, so one evaluator instance can serve sync and async points of
+the same sweep.
 """
 
 from __future__ import annotations
@@ -34,9 +41,10 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -45,6 +53,11 @@ from repro.locking.dmux import MuxGene
 
 Genotype = list[MuxGene]
 Fitness = Callable[[Sequence[MuxGene]], "float | tuple[float, ...]"]
+
+
+def supports_async(evaluator: object) -> bool:
+    """True if ``evaluator`` exposes the future-returning ``submit`` API."""
+    return callable(getattr(evaluator, "submit", None))
 
 
 @dataclass(frozen=True)
@@ -64,6 +77,16 @@ class BatchStats:
             cache_hits=self.cache_hits + other.cache_hits,
             dispatched=self.dispatched + other.dispatched,
             wall_s=self.wall_s + other.wall_s,
+        )
+
+    def since(self, baseline: "BatchStats") -> "BatchStats":
+        """Accounting accumulated after ``baseline`` was snapshot."""
+        return BatchStats(
+            size=self.size - baseline.size,
+            unique=self.unique - baseline.unique,
+            cache_hits=self.cache_hits - baseline.cache_hits,
+            dispatched=self.dispatched - baseline.dispatched,
+            wall_s=self.wall_s - baseline.wall_s,
         )
 
 
@@ -151,6 +174,22 @@ def _eval_epoch(task: "tuple[int, str, Genotype]"):
     return _WORKER_STATE[1](genes)
 
 
+class _PartialBatch(Exception):
+    """Internal: a pool batch failed mid-flight.
+
+    Carries the values of the sibling tasks that *did* complete so the
+    dispatcher can merge them into the fitness cache — each one cost a
+    full attack run — before re-raising the original failure.
+    """
+
+    def __init__(
+        self, cause: BaseException, completed: list[tuple[int, object]]
+    ) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+        self.completed = completed
+
+
 class ProcessPoolEvaluator(Evaluator):
     """Deduped, cache-fronted fan-out across worker processes.
 
@@ -219,9 +258,21 @@ class ProcessPoolEvaluator(Evaluator):
             pending[key] = genes
 
         if pending:
-            fresh, used_fallback = self._run_pending(
-                list(pending.values()), fitness
-            )
+            try:
+                fresh, used_fallback = self._run_pending(
+                    list(pending.values()), fitness
+                )
+            except _PartialBatch as partial:
+                # A mid-batch attack failure must not lose the sibling
+                # evaluations that already completed — they are paid-for.
+                if cache is not None:
+                    pending_keys = list(pending)
+                    for idx, value in partial.completed:
+                        cache.put(pending_keys[idx], value, flush=False)
+                    if hasattr(cache, "flush"):
+                        with contextlib.suppress(Exception):
+                            cache.flush()
+                raise partial.cause
             for key, value in zip(pending, fresh):
                 if cache is not None:
                     cache.put(key, value, flush=False)
@@ -253,49 +304,211 @@ class ProcessPoolEvaluator(Evaluator):
         )
         return [results[key] for key in keys], self._record(stats)
 
+    def _stage_fitness(self, fitness: Fitness) -> bool:
+        """Stage ``fitness`` for worker dispatch; False when unpicklable."""
+        if self._blob_path is not None and fitness is self._pool_fitness:
+            return True
+        try:
+            blob = pickle.dumps(fitness)
+        except Exception:
+            if not self._warned_unpicklable:
+                warnings.warn(
+                    "fitness function is not picklable; "
+                    f"{type(self).__name__} falling back to in-process "
+                    "evaluation (results unchanged, no parallelism)",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                self._warned_unpicklable = True
+            return False
+        # New fitness: bump the epoch and stage its blob; the live
+        # worker processes pick it up on their next task instead of
+        # the whole executor restarting per spec.
+        if self._blob_dir is None:
+            self._blob_dir = tempfile.mkdtemp(prefix="repro-eval-")
+        self._epoch += 1
+        new_blob = os.path.join(self._blob_dir, f"fitness-{self._epoch}.pkl")
+        with open(new_blob, "wb") as fh:
+            fh.write(blob)
+        if self._blob_path is not None:
+            # Workers mid-load hold the old file open via their own
+            # handle; unlink is safe on POSIX and merely unclutters.
+            with contextlib.suppress(OSError):
+                os.unlink(self._blob_path)
+        self._blob_path = new_blob
+        self._pool_fitness = fitness
+        return True
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
     def _run_pending(
         self, genomes: list[Genotype], fitness: Fitness
     ) -> tuple[list, bool]:
-        """Evaluate fresh genotypes; returns (values, used_fallback)."""
-        if self._blob_path is None or fitness is not self._pool_fitness:
-            try:
-                blob = pickle.dumps(fitness)
-            except Exception:
-                if not self._warned_unpicklable:
-                    warnings.warn(
-                        "fitness function is not picklable; "
-                        "ProcessPoolEvaluator falling back to in-process "
-                        "evaluation (results unchanged, no parallelism)",
-                        RuntimeWarning,
-                        stacklevel=3,
-                    )
-                    self._warned_unpicklable = True
-                return [fitness(genes) for genes in genomes], True
-            # New fitness: bump the epoch and stage its blob; the live
-            # worker processes pick it up on their next task instead of
-            # the whole executor restarting per spec.
-            if self._blob_dir is None:
-                self._blob_dir = tempfile.mkdtemp(prefix="repro-eval-")
-            self._epoch += 1
-            new_blob = os.path.join(self._blob_dir, f"fitness-{self._epoch}.pkl")
-            with open(new_blob, "wb") as fh:
-                fh.write(blob)
-            if self._blob_path is not None:
-                # Workers mid-load hold the old file open via their own
-                # handle; unlink is safe on POSIX and merely unclutters.
-                with contextlib.suppress(OSError):
-                    os.unlink(self._blob_path)
-            self._blob_path = new_blob
-            self._pool_fitness = fitness
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        """Evaluate fresh genotypes; returns (values, used_fallback).
+
+        Raises :class:`_PartialBatch` when one task fails, after waiting
+        for its siblings so their (already-paid-for) values travel with
+        the exception instead of evaporating.
+        """
+        if not self._stage_fitness(fitness):
+            return [fitness(genes) for genes in genomes], True
+        pool = self._ensure_pool()
         epoch, blob_path = self._epoch, self._blob_path
-        return (
-            list(
-                self._pool.map(
-                    _eval_epoch,
-                    [(epoch, blob_path, genes) for genes in genomes],
-                )
-            ),
-            False,
-        )
+        futures = [
+            pool.submit(_eval_epoch, (epoch, blob_path, genes))
+            for genes in genomes
+        ]
+        values: list = []
+        failure: BaseException | None = None
+        for future in futures:
+            try:
+                values.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - isolate + salvage
+                failure = exc
+                break
+        if failure is None:
+            return values, False
+        completed = list(enumerate(values))
+        for idx in range(len(values) + 1, len(futures)):
+            with contextlib.suppress(BaseException):
+                completed.append((idx, futures[idx].result()))
+        raise _PartialBatch(failure, completed)
+
+
+class AsyncEvaluator(ProcessPoolEvaluator):
+    """Future-returning evaluator over the same keep-alive worker pool.
+
+    This is the execution side of the steady-state search loop
+    (:class:`repro.ec.loop.SearchLoop` with ``async_mode=True``): instead
+    of barriering a whole population per generation, the loop ``submit``\\ s
+    one genotype at a time and breeds replacements as evaluations finish,
+    keeping every worker busy even when per-candidate attack costs are
+    wildly skewed.
+
+    Contract:
+
+    * ``submit(genes, fitness)`` consults the fitness cache first (a hit
+      returns an already-completed future and records the hit exactly like
+      the serial loop would), coalesces in-flight duplicates of the same
+      genotype onto one future, and otherwise dispatches to the pool.
+    * fresh results merge back into the dispatcher-side cache from a
+      done-callback with write-through persistence — each value costs a
+      full attack run, so it lands on disk the moment it exists, even if
+      the driving loop has already stopped (budget exhaustion cancels
+      *queued* work; *running* work is let finish and harvested).
+    * ``cancel_pending()`` cancels queued-but-unstarted submissions;
+      :meth:`close` cancels then shuts the pool down.
+
+    The batch :meth:`evaluate` API is inherited unchanged, so a single
+    ``AsyncEvaluator`` can serve sync-generational and steady-state
+    engine runs of the same sweep through one process pool. Unpicklable
+    fitness callables degrade to immediate in-process evaluation (the
+    returned future is already resolved) — results are unchanged because
+    the steady-state loop integrates completions in submission order
+    regardless of timing.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers)
+        #: (epoch, genotype key) -> in-flight future; epoch-scoped so a
+        #: straggler from one fitness can never answer for the next one.
+        self._inflight: dict[tuple, Future] = {}
+        self._inflight_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def submit(self, genes: Genotype, fitness: Fitness) -> Future:
+        """Schedule one genotype; returns a future with its fitness value."""
+        started = time.perf_counter()
+        key = genotype_key(genes)
+        cache = getattr(fitness, "cache", None)
+        if cache is not None:
+            cached = cache.get(key)  # records the hit/miss
+            if cached is not None:
+                future: Future = Future()
+                future.set_result(cached)
+                self._record(BatchStats(
+                    size=1, cache_hits=1,
+                    wall_s=time.perf_counter() - started,
+                ))
+                return future
+        if not self._stage_fitness(fitness):
+            # Unpicklable fitness: evaluate inline, right now. The fitness
+            # consulted its own cache (recording a second miss for the
+            # lookup above) and bumped its own counters — undo the dupe.
+            value = fitness(genes)
+            if cache is not None and hasattr(cache, "misses"):
+                cache.misses -= 1
+            future = Future()
+            future.set_result(value)
+            self._record(BatchStats(
+                size=1, unique=1, dispatched=1,
+                wall_s=time.perf_counter() - started,
+            ))
+            return future
+        inflight_key = (self._epoch, key)
+        with self._inflight_lock:
+            shared = self._inflight.get(inflight_key)
+        if shared is not None:
+            # An identical genotype is already being evaluated: share its
+            # future instead of paying a second attack run. The serial
+            # loop would have found the (by then warm) cache — replay
+            # that accounting.
+            if cache is not None and hasattr(cache, "misses"):
+                cache.misses -= 1
+                cache.hits += 1
+            self._record(BatchStats(
+                size=1, cache_hits=1,
+                wall_s=time.perf_counter() - started,
+            ))
+            return shared
+
+        pool = self._ensure_pool()
+        future = pool.submit(_eval_epoch, (self._epoch, self._blob_path, genes))
+        with self._inflight_lock:
+            self._inflight[inflight_key] = future
+        self._record(BatchStats(
+            size=1, unique=1, dispatched=1,
+            wall_s=time.perf_counter() - started,
+        ))
+
+        def _merge(fut: Future) -> None:
+            try:
+                if fut.cancelled() or fut.exception() is not None:
+                    return
+                value = fut.result()
+                if cache is not None:
+                    # Write-through: each fresh value costs an attack run,
+                    # so persist it the moment it exists (put() only
+                    # touches disk when the cache has a path). Merged
+                    # *before* the in-flight entry goes away, so a
+                    # concurrent duplicate submit always finds the value
+                    # in one of the two places.
+                    with contextlib.suppress(Exception):
+                        cache.put(key, value)
+                if hasattr(fitness, "evaluations"):
+                    fitness.evaluations += 1
+            finally:
+                with self._inflight_lock:
+                    if self._inflight.get(inflight_key) is fut:
+                        del self._inflight[inflight_key]
+
+        future.add_done_callback(_merge)
+        return future
+
+    def cancel_pending(self) -> int:
+        """Cancel queued-but-unstarted submissions; returns how many.
+
+        Already-running evaluations cannot be interrupted — they finish
+        and their results still merge into the fitness cache via the
+        done-callback, so no paid-for attack run is ever discarded.
+        """
+        with self._inflight_lock:
+            futures = list(self._inflight.values())
+        return sum(1 for future in futures if future.cancel())
+
+    def close(self) -> None:
+        self.cancel_pending()
+        super().close()

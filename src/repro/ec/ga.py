@@ -1,27 +1,48 @@
-"""Single-objective generational GA with elitism and a hall of fame.
+"""Single-objective GA: a policy bundle over :mod:`repro.ec.loop`.
 
 The engine is scheme-agnostic: it evolves lists of MuxGenes against any
 scalar fitness (minimised). Configuration selects the operator variants
 registered in :mod:`repro.ec.operators`, which is what the ablation
 experiment (E7) sweeps.
+
+Two execution modes, both driven by the shared
+:class:`~repro.ec.loop.SearchLoop`:
+
+* **sync generational** (``async_mode=False``, the serial default) —
+  byte-identical to the historical hand-rolled loop: evaluate the whole
+  population, keep ``elitism`` champions, breed the rest, repeat;
+* **async steady-state** (``async_mode=True``; the default whenever the
+  evaluator accepts future submissions) — keep the worker pool saturated
+  by breeding one replacement per completed evaluation, integrating
+  completions in submission order so the trajectory is deterministic at
+  any worker count. Survival is replace-worst; history entries summarise
+  the steady population every ``population_size`` completions.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.ec.evaluator import Evaluator, SerialEvaluator
+from repro.ec.evaluator import BatchStats, Evaluator, SerialEvaluator
 from repro.ec.genotype import random_genotype, repair_genotype
+from repro.ec.loop import (
+    CrossoverMutation,
+    ElitistGenerational,
+    LoopPolicy,
+    LoopState,
+    OperatorSelection,
+    SearchLoop,
+    resolve_async,
+    update_hall,
+)
 from repro.ec.operators import (
     CROSSOVERS,
     MUTATIONS,
     SELECTIONS,
     MutationConfig,
-    mutate,
 )
 from repro.errors import EvolutionError
 from repro.locking.dmux import MuxGene
@@ -33,7 +54,15 @@ Genotype = list[MuxGene]
 
 @dataclass(frozen=True)
 class GaConfig:
-    """GA hyper-parameters (paper defaults are deliberately untuned)."""
+    """GA hyper-parameters (paper defaults are deliberately untuned).
+
+    ``async_mode`` selects the loop mode: ``False`` pins the historical
+    sync-generational behaviour, ``True`` the steady-state pipeline, and
+    ``None`` (default) follows the evaluator — steady-state iff it is
+    future-capable. ``async_backlog`` bounds in-flight evaluations in
+    steady-state mode (default: ``population_size``); raising it trades
+    parent freshness for saturation under strongly skewed attack costs.
+    """
 
     key_length: int = 32
     population_size: int = 12
@@ -47,6 +76,8 @@ class GaConfig:
     target_fitness: float | None = None
     patience: int | None = None
     seed: int = 0
+    async_mode: bool | None = None
+    async_backlog: int | None = None
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -67,6 +98,8 @@ class GaConfig:
             )
         if not 0.0 <= self.crossover_rate <= 1.0:
             raise EvolutionError("crossover_rate must be in [0, 1]")
+        if self.async_backlog is not None and self.async_backlog < 1:
+            raise EvolutionError("async_backlog must be >= 1")
 
     @property
     def mutation_config(self) -> MutationConfig:
@@ -82,6 +115,8 @@ class GenerationStats:
     ``cache_hits`` / ``cache_misses`` / ``eval_wall_s`` come from the
     population evaluator and let convergence benchmarks report effective
     throughput (fresh attack evaluations per second vs memoised answers).
+    In steady-state mode one entry summarises the current population
+    after each window of ``population_size`` completed evaluations.
     """
 
     generation: int
@@ -121,6 +156,166 @@ class GaResult:
         return self.history[0].mean if self.history else float("nan")
 
 
+class GaPolicy(LoopPolicy):
+    """The GA as selection/variation/survival strategies plus bookkeeping.
+
+    Sync mode reproduces the legacy generational loop exactly (same RNG
+    order, same history/hall accounting); async mode runs replace-worst
+    steady state with windowed history entries.
+    """
+
+    def __init__(
+        self,
+        config: GaConfig,
+        original: Netlist,
+        initial_population: list[Genotype] | None = None,
+    ) -> None:
+        cfg = config
+        self.config = cfg
+        self.original = original
+        self.initial_population = initial_population
+        self.selection = OperatorSelection(cfg.selection, cfg.tournament_size)
+        self.variation = CrossoverMutation(
+            original, CROSSOVERS[cfg.crossover], cfg.crossover_rate,
+            cfg.mutation_config,
+        )
+        self.survival = ElitistGenerational(cfg.elitism, cfg.population_size)
+        self.generations = cfg.generations
+        self.population_size = cfg.population_size
+        self.offspring_count = cfg.population_size - cfg.elitism
+        self.survival_needs_offspring_values = False
+        self.max_evaluations = cfg.generations * cfg.population_size
+        # bookkeeping shared by both modes
+        self.history: list[GenerationStats] = []
+        self.hall: list[tuple[float, Genotype]] = []
+        self.best_so_far = float("inf")
+        self.stale_generations = 0
+        # async state
+        self.async_population: list[Genotype] = []
+        self.async_values: list[float] = []
+        self._target_hit = False
+        self._window_improved = False
+        self._window_totals = BatchStats()
+        self._window_elapsed = 0.0
+
+    @property
+    def async_backlog(self) -> int:
+        if self.config.async_backlog is not None:
+            return self.config.async_backlog
+        return self.population_size
+
+    # -- lifecycle ------------------------------------------------------
+    def initialize(self, rng) -> list[Genotype]:
+        cfg = self.config
+        population: list[Genotype] = []
+        if self.initial_population:
+            for genes in self.initial_population[: cfg.population_size]:
+                if len(genes) != cfg.key_length:
+                    raise EvolutionError(
+                        f"initial genotype has {len(genes)} genes, "
+                        f"config wants {cfg.key_length}"
+                    )
+                population.append(repair_genotype(self.original, genes, rng))
+        while len(population) < cfg.population_size:
+            population.append(random_genotype(self.original, cfg.key_length, rng))
+        return population
+
+    def coerce(self, value) -> float:
+        return float(value)
+
+    # -- sync hooks -----------------------------------------------------
+    def on_evaluated(self, gen, population, values, batch, elapsed_s) -> None:
+        order = np.argsort(values)
+        gen_best = values[int(order[0])]
+        self.history.append(
+            GenerationStats(
+                generation=gen,
+                best=gen_best,
+                mean=float(np.mean(values)),
+                std=float(np.std(values)),
+                elapsed_s=elapsed_s,
+                cache_hits=batch.cache_hits,
+                cache_misses=batch.dispatched,
+                eval_wall_s=batch.wall_s,
+            )
+        )
+        update_hall(self.hall, population, values)
+        if gen_best < self.best_so_far - 1e-12:
+            self.best_so_far = gen_best
+            self.stale_generations = 0
+        else:
+            self.stale_generations += 1
+
+    def should_stop(self, gen, population, values, n_evals):
+        cfg = self.config
+        gen_best = self.history[-1].best
+        if cfg.target_fitness is not None and gen_best <= cfg.target_fitness:
+            return True, True
+        if cfg.patience is not None and self.stale_generations > cfg.patience:
+            return True, True
+        if gen >= cfg.generations - 1:
+            return True, False
+        return False, False
+
+    # -- async hooks ----------------------------------------------------
+    def integrate_async(
+        self, genes, value, completed, rng, elapsed_s, totals
+    ) -> None:
+        cfg = self.config
+        self.async_population, self.async_values = self.survival.integrate(
+            self.async_population, self.async_values, list(genes), value, rng
+        )
+        update_hall(self.hall, [genes], [value])
+        if value < self.best_so_far - 1e-12:
+            self.best_so_far = value
+            self._window_improved = True
+        if cfg.target_fitness is not None and value <= cfg.target_fitness:
+            self._target_hit = True
+        if completed % cfg.population_size == 0:
+            window = completed // cfg.population_size - 1
+            delta = totals.since(self._window_totals)
+            self.history.append(
+                GenerationStats(
+                    generation=window,
+                    best=min(self.async_values),
+                    mean=float(np.mean(self.async_values)),
+                    std=float(np.std(self.async_values)),
+                    elapsed_s=elapsed_s,
+                    cache_hits=delta.cache_hits,
+                    cache_misses=delta.dispatched,
+                    eval_wall_s=elapsed_s - self._window_elapsed,
+                )
+            )
+            self._window_totals = totals
+            self._window_elapsed = elapsed_s
+            if not self._window_improved:
+                self.stale_generations += 1
+            else:
+                self.stale_generations = 0
+            self._window_improved = False
+
+    def async_should_stop(self, completed) -> bool:
+        cfg = self.config
+        if self._target_hit:
+            return True
+        return (
+            cfg.patience is not None
+            and self.stale_generations > cfg.patience
+        )
+
+    # -- result ---------------------------------------------------------
+    def result(self, state: LoopState) -> GaResult:
+        best_fit, best_geno = min(self.hall, key=lambda t: t[0])
+        return GaResult(
+            best_genotype=list(best_geno),
+            best_fitness=best_fit,
+            history=self.history,
+            hall_of_fame=self.hall,
+            evaluations=state.evaluations,
+            stopped_early=state.stopped_early,
+        )
+
+
 class GeneticAlgorithm:
     """Generational GA over MUX-locking genotypes (fitness minimised)."""
 
@@ -140,138 +335,23 @@ class GeneticAlgorithm:
         tests and by warm-started experiments); its genotypes are
         repaired, and the population is padded/truncated to size.
 
-        ``evaluator`` batches the per-generation fitness evaluation; the
-        default :class:`SerialEvaluator` reproduces the historical
-        per-genome loop exactly, while a
-        :class:`~repro.ec.evaluator.ProcessPoolEvaluator` fans cache
-        misses out across worker processes. The caller owns the
-        evaluator's lifetime (close any pool you pass in).
+        ``evaluator`` runs the fitness evaluation; the default
+        :class:`SerialEvaluator` reproduces the historical per-genome
+        loop exactly, a
+        :class:`~repro.ec.evaluator.ProcessPoolEvaluator` fans batches
+        out across worker processes, and an
+        :class:`~repro.ec.evaluator.AsyncEvaluator` additionally enables
+        the steady-state mode (the default for such evaluators unless
+        ``config.async_mode`` pins one). The caller owns the evaluator's
+        lifetime (close any pool you pass in).
         """
         cfg = self.config
         rng = derive_rng(cfg.seed)
-        select = SELECTIONS[cfg.selection]
-        cross = CROSSOVERS[cfg.crossover]
-        mut_cfg = cfg.mutation_config
         evaluator = evaluator if evaluator is not None else SerialEvaluator()
-
-        population = self._init_population(original, initial_population, rng)
-        started = time.perf_counter()
-        history: list[GenerationStats] = []
-        hall: list[tuple[float, Genotype]] = []
-        n_evals = 0
-        best_so_far = float("inf")
-        stale_generations = 0
-        stopped_early = False
-
-        for gen in range(cfg.generations):
-            raw, batch = evaluator.evaluate(population, fitness)
-            fits = [float(v) for v in raw]
-            n_evals += len(population)
-            order = np.argsort(fits)
-            gen_best = fits[int(order[0])]
-            history.append(
-                GenerationStats(
-                    generation=gen,
-                    best=gen_best,
-                    mean=float(np.mean(fits)),
-                    std=float(np.std(fits)),
-                    elapsed_s=time.perf_counter() - started,
-                    cache_hits=batch.cache_hits,
-                    cache_misses=batch.dispatched,
-                    eval_wall_s=batch.wall_s,
-                )
-            )
-            self._update_hall(hall, population, fits)
-
-            if gen_best < best_so_far - 1e-12:
-                best_so_far = gen_best
-                stale_generations = 0
-            else:
-                stale_generations += 1
-            if cfg.target_fitness is not None and gen_best <= cfg.target_fitness:
-                stopped_early = True
-                break
-            if cfg.patience is not None and stale_generations > cfg.patience:
-                stopped_early = True
-                break
-            if gen == cfg.generations - 1:
-                break  # final evaluation done; no need to breed
-
-            # --- next generation -----------------------------------------
-            next_pop: list[Genotype] = [
-                list(population[int(i)]) for i in order[: cfg.elitism]
-            ]
-            while len(next_pop) < cfg.population_size:
-                pa = population[
-                    select(fits, rng, cfg.tournament_size)
-                    if cfg.selection == "tournament"
-                    else select(fits, rng)
-                ]
-                pb = population[
-                    select(fits, rng, cfg.tournament_size)
-                    if cfg.selection == "tournament"
-                    else select(fits, rng)
-                ]
-                if rng.random() < cfg.crossover_rate:
-                    child_a, child_b = cross(pa, pb, rng)
-                else:
-                    child_a, child_b = list(pa), list(pb)
-                for child in (child_a, child_b):
-                    if len(next_pop) >= cfg.population_size:
-                        break
-                    child = mutate(original, child, mut_cfg, rng)
-                    child = repair_genotype(original, child, rng)
-                    next_pop.append(child)
-            population = next_pop
-
-        best_fit, best_geno = min(hall, key=lambda t: t[0])
-        return GaResult(
-            best_genotype=list(best_geno),
-            best_fitness=best_fit,
-            history=history,
-            hall_of_fame=hall,
-            evaluations=n_evals,
-            stopped_early=stopped_early,
+        policy = GaPolicy(cfg, original, initial_population)
+        loop = SearchLoop(
+            policy, evaluator,
+            async_mode=resolve_async(cfg.async_mode, evaluator),
         )
-
-    # ------------------------------------------------------------------
-    def _init_population(
-        self,
-        original: Netlist,
-        initial: list[Genotype] | None,
-        rng,
-    ) -> list[Genotype]:
-        cfg = self.config
-        population: list[Genotype] = []
-        if initial:
-            for genes in initial[: cfg.population_size]:
-                if len(genes) != cfg.key_length:
-                    raise EvolutionError(
-                        f"initial genotype has {len(genes)} genes, "
-                        f"config wants {cfg.key_length}"
-                    )
-                population.append(repair_genotype(original, genes, rng))
-        while len(population) < cfg.population_size:
-            population.append(random_genotype(original, cfg.key_length, rng))
-        return population
-
-    @staticmethod
-    def _update_hall(
-        hall: list[tuple[float, Genotype]],
-        population: list[Genotype],
-        fits: list[float],
-        size: int = 5,
-    ) -> None:
-        from repro.ec.genotype import genotype_key
-
-        for genes, fit in zip(population, fits):
-            hall.append((fit, list(genes)))
-        # Deduplicate by genotype, keep the best `size`.
-        seen: set[tuple] = set()
-        unique: list[tuple[float, Genotype]] = []
-        for fit, genes in sorted(hall, key=lambda t: t[0]):
-            key = genotype_key(genes)
-            if key not in seen:
-                seen.add(key)
-                unique.append((fit, genes))
-        hall[:] = unique[:size]
+        state = loop.run(fitness, rng)
+        return policy.result(state)

@@ -1,0 +1,493 @@
+"""The unified search loop: one steady-state pipeline under every engine.
+
+Historically each engine — the GA, NSGA-II, the single-trajectory
+baselines, and the AutoLock outer pipeline — carried its own hand-rolled
+generation loop. This module extracts the one loop they all share and
+makes the engines *policy bundles* over it:
+
+* :class:`SelectionPolicy` — pick a parent index from the evaluated
+  population (tournament/roulette/rank for the GA, Pareto binary
+  tournament for NSGA-II);
+* :class:`VariationPolicy` — turn two parents into offspring, split into
+  a ``pair`` stage (crossover) and a per-child ``finish`` stage
+  (mutation + repair) so the loop can stop breeding mid-pair without
+  consuming RNG the legacy engines never drew;
+* :class:`SurvivalPolicy` — decide who lives: elitist-generational
+  replacement (GA), Pareto environmental selection (NSGA-II), or the
+  accept/reject rules of the trajectory searches.
+
+The :class:`SearchLoop` drives a policy bundle in one of two modes:
+
+**sync** (``async_mode=False``) reproduces the historical generational
+loops *byte-identically*: same RNG consumption order, same evaluator
+batches, same bookkeeping (``tests/test_ec_determinism.py`` and
+``tests/test_ec_loop.py`` pin this against the golden trajectories).
+
+**async** (``async_mode=True``) is the steady-state pipeline: the loop
+keeps up to ``policy.async_backlog`` evaluations in flight on an
+:class:`~repro.ec.evaluator.AsyncEvaluator` and breeds a replacement the
+moment any evaluation completes, so the worker pool never idles at a
+generation barrier while one slow attack run finishes. Completions are
+**integrated in submission order** (FIFO), which makes the whole
+trajectory a deterministic function of the seed — independent of worker
+count, scheduling, and actual completion timing. That is what lets the
+same spec fingerprint cover an async run at any parallelism: replaying
+it serially reproduces the identical champion set.
+
+Budget exhaustion (or early convergence) cancels queued-but-unstarted
+evaluations; anything already running is harvested into the fitness
+cache, and a raised attack error flushes dirty cache entries before
+propagating — a crash mid-run never loses paid-for evaluations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.ec.evaluator import (
+    BatchStats,
+    Evaluator,
+    SerialEvaluator,
+    supports_async,
+)
+from repro.ec.genotype import genotype_key, repair_genotype
+from repro.ec.operators import SELECTIONS, MutationConfig, mutate
+from repro.errors import EvolutionError
+from repro.locking.dmux import MuxGene
+from repro.netlist.netlist import Netlist
+
+Genotype = list[MuxGene]
+
+
+# ---------------------------------------------------------------------------
+# policy protocols
+# ---------------------------------------------------------------------------
+class SelectionPolicy(Protocol):
+    """Picks one parent index from the evaluated population."""
+
+    def select(self, values: Sequence, rng) -> int:
+        """Index of the chosen parent (``values`` are minimised)."""
+        ...  # pragma: no cover - protocol
+
+
+class VariationPolicy(Protocol):
+    """Turns two parents into offspring, in two stages.
+
+    ``pair`` performs recombination (or cloning) of both children at
+    once; ``finish`` applies the per-child operators (mutation, repair).
+    The split lets the loop drop an unneeded second child *before* its
+    mutation draws RNG — exactly what the legacy breeding loops did, and
+    a requirement for byte-identical sync trajectories.
+    """
+
+    def pair(self, pa: Genotype, pb: Genotype, rng) -> tuple[Genotype, Genotype]:
+        ...  # pragma: no cover - protocol
+
+    def finish(self, child: Genotype, rng) -> Genotype:
+        ...  # pragma: no cover - protocol
+
+
+class SurvivalPolicy(Protocol):
+    """Decides which individuals form the next population state.
+
+    ``survive`` is the generational rule (sync mode): combine the parent
+    population with a full offspring batch. Returning ``values=None``
+    asks the loop to (re-)evaluate the whole new population next round —
+    the GA's historical semantics, where elites flow through the fitness
+    cache again. ``integrate`` is the steady-state rule (async mode):
+    fold exactly one evaluated newcomer into the current population.
+    """
+
+    def survive(self, population, values, offspring, off_values, rng):
+        ...  # pragma: no cover - protocol
+
+    def integrate(self, population, values, genes, value, rng):
+        ...  # pragma: no cover - protocol
+
+
+# ---------------------------------------------------------------------------
+# generic policy implementations
+# ---------------------------------------------------------------------------
+@dataclass
+class OperatorSelection:
+    """GA selection via the registered operator variants.
+
+    Wraps :data:`repro.ec.operators.SELECTIONS` (tournament / roulette /
+    rank); ``tournament_size`` only applies to tournament selection, and
+    the RNG call pattern is identical to the legacy GA loop's inline
+    dispatch.
+    """
+
+    name: str
+    tournament_size: int = 3
+
+    def select(self, values, rng) -> int:
+        fn = SELECTIONS[self.name]
+        if self.name == "tournament":
+            return fn(values, rng, self.tournament_size)
+        return fn(values, rng)
+
+
+@dataclass
+class CrossoverMutation:
+    """Standard EC variation: rate-gated crossover, then mutate + repair.
+
+    ``pair`` draws one uniform variate against ``crossover_rate`` and
+    either recombines or clones the parents; ``finish`` mutates against
+    the original netlist and repairs collisions — the exact operator
+    order of the legacy GA/NSGA-II breeding loops.
+    """
+
+    original: Netlist
+    crossover: object  # Callable[(a, b, rng)] -> (child_a, child_b)
+    crossover_rate: float
+    mutation: MutationConfig
+
+    def pair(self, pa, pb, rng):
+        if rng.random() < self.crossover_rate:
+            return self.crossover(pa, pb, rng)
+        return list(pa), list(pb)
+
+    def finish(self, child, rng):
+        child = mutate(self.original, child, self.mutation, rng)
+        return repair_genotype(self.original, child, rng)
+
+
+@dataclass
+class ElitistGenerational:
+    """GA survival: the ``elitism`` best parents plus the bred offspring.
+
+    Generational mode returns ``values=None`` so the next round
+    re-evaluates everyone (elites resolve as cache hits — the historical
+    accounting). Steady-state mode appends the newcomer and evicts the
+    current worst once the population exceeds ``mu`` (first-worst wins
+    ties, so eviction is deterministic).
+    """
+
+    elitism: int
+    mu: int
+
+    def survive(self, population, values, offspring, off_values, rng):
+        order = np.argsort(values)
+        elites = [list(population[int(i)]) for i in order[: self.elitism]]
+        return elites + offspring, None
+
+    def integrate(self, population, values, genes, value, rng):
+        population = population + [genes]
+        values = values + [value]
+        if len(values) > self.mu:
+            worst = max(range(len(values)), key=values.__getitem__)
+            population.pop(worst)
+            values.pop(worst)
+        return population, values
+
+
+def update_hall(
+    hall: list[tuple[float, Genotype]],
+    population: Sequence[Genotype],
+    values: Sequence[float],
+    size: int = 5,
+) -> None:
+    """Merge ``population`` into a deduplicated best-``size`` hall of fame."""
+    for genes, fit in zip(population, values):
+        hall.append((fit, list(genes)))
+    seen: set[tuple] = set()
+    unique: list[tuple[float, Genotype]] = []
+    for fit, genes in sorted(hall, key=lambda t: t[0]):
+        key = genotype_key(genes)
+        if key not in seen:
+            seen.add(key)
+            unique.append((fit, genes))
+    hall[:] = unique[:size]
+
+
+# ---------------------------------------------------------------------------
+# the policy bundle driven by the loop
+# ---------------------------------------------------------------------------
+class LoopPolicy:
+    """Everything engine-specific the :class:`SearchLoop` needs.
+
+    Subclasses (one per engine, defined next to their engine) set the
+    strategy objects and the knobs below, implement :meth:`initialize`,
+    and override the hooks they need for bookkeeping (history, halls,
+    trajectories). The base class provides the shared generational
+    breeding scheme and sensible no-op hooks.
+
+    Attributes
+    ----------
+    selection / variation / survival
+        The three strategy objects (see the protocols above).
+    generations
+        Sync mode: how many loop rounds to run.
+    population_size
+        The steady population size μ.
+    offspring_count
+        Sync mode: offspring bred per generation (λ).
+    survival_needs_offspring_values
+        True when ``survival.survive`` consumes evaluated offspring
+        (μ+λ engines like NSGA-II and the trajectory searches); False
+        for the GA's replace-and-re-evaluate scheme.
+    max_evaluations
+        Async mode: total evaluation budget.
+    async_backlog
+        Async mode: maximum evaluations in flight. Deliberately a pure
+        function of the configuration (never of the worker count), so
+        the async trajectory is identical at any parallelism.
+    sequential_breeding
+        True for searches whose next candidate depends on the previous
+        result (hill climbing, annealing): async mode then keeps exactly
+        one evaluation in flight, preserving their semantics.
+    """
+
+    selection: SelectionPolicy
+    variation: VariationPolicy
+    survival: SurvivalPolicy
+
+    generations: int = 0
+    population_size: int = 1
+    offspring_count: int = 1
+    survival_needs_offspring_values: bool = False
+    max_evaluations: int = 0
+    sequential_breeding: bool = False
+
+    @property
+    def async_backlog(self) -> int:
+        return self.population_size
+
+    # -- lifecycle ------------------------------------------------------
+    def initialize(self, rng) -> list[Genotype]:
+        """The initial (unevaluated) population."""
+        raise NotImplementedError
+
+    def coerce(self, value):
+        """Normalise one raw evaluator value (float / objective tuple)."""
+        return value
+
+    # -- sync hooks -----------------------------------------------------
+    def on_evaluated(self, gen, population, values, batch, elapsed_s) -> None:
+        """After a top-of-round population evaluation (GA stats live here)."""
+
+    def should_stop(self, gen, population, values, n_evals):
+        """(stop, stopped_early) checked once per round, post-evaluation."""
+        return gen >= self.generations, False
+
+    def breed(self, n, population, values, rng) -> list[Genotype]:
+        """Breed ``n`` offspring; the shared generational scheme by default."""
+        children: list[Genotype] = []
+        while len(children) < n:
+            pa = population[self.selection.select(values, rng)]
+            pb = population[self.selection.select(values, rng)]
+            child_a, child_b = self.variation.pair(pa, pb, rng)
+            for child in (child_a, child_b):
+                if len(children) >= n:
+                    break
+                children.append(self.variation.finish(child, rng))
+        return children
+
+    def on_generation(self, gen, population, values, batch, elapsed_s) -> None:
+        """After survival produced the next population (NSGA-II stats)."""
+
+    # -- async (steady-state) hooks -------------------------------------
+    #: current steady-state population/values, owned by the policy.
+    async_population: list[Genotype]
+    async_values: list
+
+    def integrate_async(
+        self, genes, value, completed, rng, elapsed_s, totals: BatchStats
+    ) -> None:
+        """Fold one completed evaluation into the steady-state population."""
+        raise NotImplementedError
+
+    def breed_async(self, rng) -> Genotype:
+        """One offspring bred from the current steady-state population."""
+        population, values = self.async_population, self.async_values
+        pa = population[self.selection.select(values, rng)]
+        pb = population[self.selection.select(values, rng)]
+        child_a, _ = self.variation.pair(pa, pb, rng)
+        return self.variation.finish(child_a, rng)
+
+    def async_should_stop(self, completed) -> bool:
+        """Early-convergence check, once per integration."""
+        return False
+
+
+def resolve_async(async_mode: bool | None, evaluator: Evaluator) -> bool:
+    """Resolve a config's tri-state ``async_mode`` against an evaluator.
+
+    ``None`` means *follow the evaluator*: steady-state iff it can take
+    future submissions (an :class:`~repro.ec.evaluator.AsyncEvaluator`).
+    """
+    if async_mode is None:
+        return supports_async(evaluator)
+    return bool(async_mode)
+
+
+@dataclass
+class LoopState:
+    """What one :meth:`SearchLoop.run` produced (policy holds the rest)."""
+
+    population: list[Genotype]
+    values: list
+    evaluations: int
+    stopped_early: bool = False
+    wall_s: float = 0.0
+
+
+def _flush_fitness_cache(fitness) -> None:
+    """Best-effort flush of a fitness function's dirty cache entries."""
+    cache = getattr(fitness, "cache", None)
+    flush = getattr(cache, "flush", None)
+    if callable(flush):
+        with contextlib.suppress(Exception):
+            flush()
+
+
+class SearchLoop:
+    """Drives one :class:`LoopPolicy` to completion; see the module doc.
+
+    The caller owns the evaluator's lifetime. ``async_mode=True`` needs a
+    future-capable evaluator (:class:`~repro.ec.evaluator.AsyncEvaluator`);
+    ``max_pending`` overrides the policy's ``async_backlog`` (tests and
+    benchmarks only — the default keeps trajectories worker-independent).
+    """
+
+    def __init__(
+        self,
+        policy: LoopPolicy,
+        evaluator: Evaluator | None = None,
+        *,
+        async_mode: bool = False,
+        max_pending: int | None = None,
+    ) -> None:
+        self.policy = policy
+        self.evaluator = evaluator if evaluator is not None else SerialEvaluator()
+        if async_mode and not supports_async(self.evaluator):
+            raise EvolutionError(
+                "async_mode needs a future-capable evaluator; got "
+                f"{type(self.evaluator).__name__} — pass an AsyncEvaluator "
+                "or run with async_mode=False"
+            )
+        self.async_mode = async_mode
+        self.max_pending = max_pending
+
+    def run(self, fitness, rng) -> LoopState:
+        try:
+            if self.async_mode:
+                return self._run_async(fitness, rng)
+            return self._run_sync(fitness, rng)
+        finally:
+            # A raised attack error (or an interrupt) must not lose the
+            # evaluations already paid for: flush dirty cache entries
+            # before propagating. Harmless no-op on the success path.
+            _flush_fitness_cache(fitness)
+
+    # -- sync: the shared generational loop -----------------------------
+    def _run_sync(self, fitness, rng) -> LoopState:
+        policy = self.policy
+        started = time.perf_counter()
+        population = policy.initialize(rng)
+        values: list | None = None
+        n_evals = 0
+        gen = 0
+        stopped_early = False
+        while True:
+            if values is None:
+                raw, batch = self.evaluator.evaluate(population, fitness)
+                values = [policy.coerce(v) for v in raw]
+                n_evals += len(population)
+                policy.on_evaluated(
+                    gen, population, values, batch,
+                    time.perf_counter() - started,
+                )
+            stop, early = policy.should_stop(gen, population, values, n_evals)
+            if stop:
+                stopped_early = early
+                break
+            offspring = policy.breed(
+                policy.offspring_count, population, values, rng
+            )
+            off_values = None
+            off_batch = None
+            if policy.survival_needs_offspring_values:
+                raw, off_batch = self.evaluator.evaluate(offspring, fitness)
+                off_values = [policy.coerce(v) for v in raw]
+                n_evals += len(offspring)
+            population, values = policy.survival.survive(
+                population, values, offspring, off_values, rng
+            )
+            policy.on_generation(
+                gen, population, values, off_batch,
+                time.perf_counter() - started,
+            )
+            gen += 1
+        return LoopState(
+            population=population,
+            values=values if values is not None else [],
+            evaluations=n_evals,
+            stopped_early=stopped_early,
+            wall_s=time.perf_counter() - started,
+        )
+
+    # -- async: the steady-state pipeline -------------------------------
+    def _run_async(self, fitness, rng) -> LoopState:
+        policy = self.policy
+        evaluator = self.evaluator
+        started = time.perf_counter()
+        budget = policy.max_evaluations
+        max_pending = (
+            self.max_pending
+            if self.max_pending is not None
+            else policy.async_backlog
+        )
+        if policy.sequential_breeding:
+            max_pending = 1
+        max_pending = max(1, max_pending)
+
+        # Shared evaluators (one pool per sweep/worker) carry accounting
+        # from earlier runs; policies must only ever see this run's.
+        totals_baseline = evaluator.total
+        pending: deque = deque()
+        for genes in policy.initialize(rng)[: max(1, budget)]:
+            pending.append((genes, evaluator.submit(genes, fitness)))
+        submitted = len(pending)
+        completed = 0
+        stopped_early = False
+        try:
+            while pending:
+                genes, future = pending.popleft()
+                value = policy.coerce(future.result())
+                completed += 1
+                policy.integrate_async(
+                    genes, value, completed, rng,
+                    time.perf_counter() - started,
+                    evaluator.total.since(totals_baseline),
+                )
+                if policy.async_should_stop(completed):
+                    stopped_early = True
+                    break
+                while submitted < budget and len(pending) < max_pending:
+                    child = policy.breed_async(rng)
+                    pending.append((child, evaluator.submit(child, fitness)))
+                    submitted += 1
+        finally:
+            if pending:
+                # Budget exhaustion / convergence / error with work still
+                # in flight: cancel what has not started. Running tasks
+                # finish on their own and their results still land in the
+                # fitness cache via the evaluator's merge callback.
+                cancel = getattr(evaluator, "cancel_pending", None)
+                if callable(cancel):
+                    cancel()
+        return LoopState(
+            population=list(policy.async_population),
+            values=list(policy.async_values),
+            evaluations=completed,
+            stopped_early=stopped_early,
+            wall_s=time.perf_counter() - started,
+        )

@@ -4,19 +4,30 @@ Implements the research-plan extension of the paper: evolve lockings
 against a *vector* of objectives (attack accuracies, overhead) and return
 the Pareto front instead of a single champion. All objectives are
 minimised.
+
+The engine is a policy bundle over :class:`repro.ec.loop.SearchLoop`:
+Pareto binary-tournament selection, the shared crossover+mutation
+variation, and environmental (non-dominated sorting + crowding) survival.
+Sync mode is byte-identical to the historical (μ+λ) loop; async mode
+runs steady-state (μ+1) environmental selection, integrating completed
+evaluations in submission order so results are worker-count independent.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-import numpy as np
-
-from repro.ec.evaluator import Evaluator, SerialEvaluator
-from repro.ec.genotype import genotype_key, random_genotype, repair_genotype
-from repro.ec.operators import CROSSOVERS, MUTATIONS, MutationConfig, mutate
+from repro.ec.evaluator import BatchStats, Evaluator, SerialEvaluator
+from repro.ec.genotype import genotype_key, random_genotype
+from repro.ec.loop import (
+    CrossoverMutation,
+    LoopPolicy,
+    LoopState,
+    SearchLoop,
+    resolve_async,
+)
+from repro.ec.operators import CROSSOVERS, MUTATIONS, MutationConfig
 from repro.errors import EvolutionError
 from repro.locking.dmux import MuxGene
 from repro.netlist.netlist import Netlist
@@ -84,9 +95,72 @@ def crowding_distance(objs: Sequence[Objectives], front: list[int]) -> dict[int,
     return distance
 
 
+def environmental_selection(
+    combined: list[Genotype],
+    objs: list[Objectives],
+    size: int,
+) -> tuple[list[Genotype], list[Objectives]]:
+    """Standard NSGA-II truncation: fill by front, break ties by crowding."""
+    fronts = fast_non_dominated_sort(objs)
+    chosen: list[int] = []
+    for front in fronts:
+        if len(chosen) + len(front) <= size:
+            chosen.extend(front)
+        else:
+            crowd = crowding_distance(objs, front)
+            ranked = sorted(front, key=lambda i: crowd[i], reverse=True)
+            chosen.extend(ranked[: size - len(chosen)])
+            break
+    return [combined[i] for i in chosen], [objs[i] for i in chosen]
+
+
+class ParetoBinaryTournament:
+    """Rank-then-crowding binary tournament over the current objectives.
+
+    Fronts and crowding are recomputed per call, exactly as the
+    historical engine did, so RNG consumption and tie-breaking match the
+    pinned golden trajectories.
+    """
+
+    def select(self, values, rng) -> int:
+        fronts = fast_non_dominated_sort(values)
+        rank: dict[int, int] = {}
+        for r, front in enumerate(fronts):
+            for i in front:
+                rank[i] = r
+        crowd: dict[int, float] = {}
+        for front in fronts:
+            crowd.update(crowding_distance(values, front))
+        a, b = int(rng.integers(0, len(values))), int(rng.integers(0, len(values)))
+        if rank[a] != rank[b]:
+            return a if rank[a] < rank[b] else b
+        return a if crowd[a] >= crowd[b] else b
+
+
+@dataclass
+class ParetoEnvironmental:
+    """NSGA-II survival: (μ+λ) generational, (μ+1) steady-state."""
+
+    mu: int
+
+    def survive(self, population, values, offspring, off_values, rng):
+        return environmental_selection(
+            population + offspring, values + off_values, self.mu
+        )
+
+    def integrate(self, population, values, genes, value, rng):
+        return environmental_selection(
+            population + [genes], values + [value], self.mu
+        )
+
+
 @dataclass(frozen=True)
 class Nsga2Config:
-    """NSGA-II hyper-parameters."""
+    """NSGA-II hyper-parameters.
+
+    ``async_mode`` / ``async_backlog`` behave exactly as on
+    :class:`~repro.ec.ga.GaConfig`.
+    """
 
     key_length: int = 16
     population_size: int = 16
@@ -95,6 +169,8 @@ class Nsga2Config:
     crossover_rate: float = 0.9
     mutation: str | MutationConfig = "default"
     seed: int = 0
+    async_mode: bool | None = None
+    async_backlog: int | None = None
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -103,6 +179,8 @@ class Nsga2Config:
             raise EvolutionError(f"unknown crossover {self.crossover!r}")
         if isinstance(self.mutation, str) and self.mutation not in MUTATIONS:
             raise EvolutionError(f"unknown mutation {self.mutation!r}")
+        if self.async_backlog is not None and self.async_backlog < 1:
+            raise EvolutionError("async_backlog must be >= 1")
 
     @property
     def mutation_config(self) -> MutationConfig:
@@ -122,80 +200,102 @@ class Nsga2Result:
     history: list[dict] = field(default_factory=list)
 
 
-class Nsga2:
-    """NSGA-II over MUX-locking genotypes."""
+class Nsga2Policy(LoopPolicy):
+    """NSGA-II as a strategy bundle over the shared loop."""
 
-    def __init__(self, config: Nsga2Config) -> None:
-        self.config = config
+    def __init__(self, config: Nsga2Config, original: Netlist) -> None:
+        cfg = config
+        self.config = cfg
+        self.original = original
+        self.selection = ParetoBinaryTournament()
+        self.variation = CrossoverMutation(
+            original, CROSSOVERS[cfg.crossover], cfg.crossover_rate,
+            cfg.mutation_config,
+        )
+        self.survival = ParetoEnvironmental(cfg.population_size)
+        self.generations = cfg.generations
+        self.population_size = cfg.population_size
+        self.offspring_count = cfg.population_size
+        self.survival_needs_offspring_values = True
+        # initial population + one offspring batch per generation
+        self.max_evaluations = cfg.population_size * (cfg.generations + 1)
+        self.history: list[dict] = []
+        # async state
+        self.async_population: list[Genotype] = []
+        self.async_values: list[Objectives] = []
+        self._window_totals = BatchStats()
 
-    def run(
-        self,
-        original: Netlist,
-        fitness: Callable[[Sequence[MuxGene]], Objectives],
-        evaluator: Evaluator | None = None,
-    ) -> Nsga2Result:
-        """Evolve a Pareto front of lockings of ``original``.
+    @property
+    def async_backlog(self) -> int:
+        if self.config.async_backlog is not None:
+            return self.config.async_backlog
+        return self.population_size
 
-        ``evaluator`` batches population evaluation exactly as in
-        :meth:`GeneticAlgorithm.run`; the serial default preserves the
-        historical per-genome loop, and the caller owns any pool passed
-        in.
-        """
+    # -- lifecycle ------------------------------------------------------
+    def initialize(self, rng) -> list[Genotype]:
         cfg = self.config
-        rng = derive_rng(cfg.seed)
-        cross = CROSSOVERS[cfg.crossover]
-        mut_cfg = cfg.mutation_config
-        evaluator = evaluator if evaluator is not None else SerialEvaluator()
-        started = time.perf_counter()
-
-        population = [
-            random_genotype(original, cfg.key_length, rng)
+        return [
+            random_genotype(self.original, cfg.key_length, rng)
             for _ in range(cfg.population_size)
         ]
-        raw, _ = evaluator.evaluate(population, fitness)
-        objs = [tuple(v) for v in raw]
-        n_evals = len(population)
-        history: list[dict] = []
 
-        for gen in range(cfg.generations):
-            offspring: list[Genotype] = []
-            while len(offspring) < cfg.population_size:
-                pa = population[self._binary_tournament(objs, rng)]
-                pb = population[self._binary_tournament(objs, rng)]
-                if rng.random() < cfg.crossover_rate:
-                    child_a, child_b = cross(pa, pb, rng)
-                else:
-                    child_a, child_b = list(pa), list(pb)
-                for child in (child_a, child_b):
-                    if len(offspring) >= cfg.population_size:
-                        break
-                    child = mutate(original, child, mut_cfg, rng)
-                    offspring.append(repair_genotype(original, child, rng))
-            raw, batch = evaluator.evaluate(offspring, fitness)
-            off_objs = [tuple(v) for v in raw]
-            n_evals += len(offspring)
+    def coerce(self, value) -> Objectives:
+        return tuple(value)
 
-            combined = population + offspring
-            combined_objs = objs + off_objs
-            population, objs = self._environmental_selection(
-                combined, combined_objs, cfg.population_size
+    # -- sync hooks -----------------------------------------------------
+    def should_stop(self, gen, population, values, n_evals):
+        return gen >= self.config.generations, False
+
+    def on_generation(self, gen, population, values, batch, elapsed_s) -> None:
+        self._record_generation(
+            gen, values,
+            cache_hits=batch.cache_hits if batch else 0,
+            cache_misses=batch.dispatched if batch else 0,
+        )
+
+    def _record_generation(self, gen, values, *, cache_hits, cache_misses):
+        front0 = fast_non_dominated_sort(values)[0]
+        self.history.append(
+            {
+                "generation": gen,
+                "front_size": len(front0),
+                "best_per_objective": [
+                    min(values[i][m] for i in front0)
+                    for m in range(len(values[0]))
+                ],
+                "cache_hits": cache_hits,
+                "cache_misses": cache_misses,
+            }
+        )
+
+    # -- async hooks ----------------------------------------------------
+    def integrate_async(
+        self, genes, value, completed, rng, elapsed_s, totals
+    ) -> None:
+        mu = self.config.population_size
+        self.async_population, self.async_values = self.survival.integrate(
+            self.async_population, self.async_values, list(genes), value, rng
+        )
+        # The first μ completions are the initial population (no history
+        # entry, as in sync mode); each further window of μ completions
+        # is one generation-equivalent.
+        if completed % mu == 0 and completed >= 2 * mu:
+            delta = totals.since(self._window_totals)
+            self._record_generation(
+                completed // mu - 2,
+                self.async_values,
+                cache_hits=delta.cache_hits,
+                cache_misses=delta.dispatched,
             )
-            front0 = fast_non_dominated_sort(objs)[0]
-            history.append(
-                {
-                    "generation": gen,
-                    "front_size": len(front0),
-                    "best_per_objective": [
-                        min(objs[i][m] for i in front0)
-                        for m in range(len(objs[0]))
-                    ],
-                    "cache_hits": batch.cache_hits,
-                    "cache_misses": batch.dispatched,
-                }
-            )
+            self._window_totals = totals
+        elif completed % mu == 0:
+            self._window_totals = totals
 
+    # -- result ---------------------------------------------------------
+    def result(self, state: LoopState, runtime_s: float) -> Nsga2Result:
+        population, objs = state.population, state.values
         fronts = fast_non_dominated_sort(objs)
-        front = fronts[0]
+        front = fronts[0] if fronts else []
         # Deduplicate identical genotypes in the reported front.
         seen: set[tuple] = set()
         genos: list[Genotype] = []
@@ -210,40 +310,38 @@ class Nsga2:
         return Nsga2Result(
             front_genotypes=genos,
             front_objectives=front_objs,
-            evaluations=n_evals,
-            runtime_s=time.perf_counter() - started,
-            history=history,
+            evaluations=state.evaluations,
+            runtime_s=runtime_s,
+            history=self.history,
         )
 
-    # ------------------------------------------------------------------
-    def _binary_tournament(self, objs: list[Objectives], rng) -> int:
-        fronts = fast_non_dominated_sort(objs)
-        rank = {}
-        for r, front in enumerate(fronts):
-            for i in front:
-                rank[i] = r
-        crowd: dict[int, float] = {}
-        for front in fronts:
-            crowd.update(crowding_distance(objs, front))
-        a, b = int(rng.integers(0, len(objs))), int(rng.integers(0, len(objs)))
-        if rank[a] != rank[b]:
-            return a if rank[a] < rank[b] else b
-        return a if crowd[a] >= crowd[b] else b
 
-    @staticmethod
-    def _environmental_selection(
-        combined: list[Genotype],
-        objs: list[Objectives],
-        size: int,
-    ) -> tuple[list[Genotype], list[Objectives]]:
-        fronts = fast_non_dominated_sort(objs)
-        chosen: list[int] = []
-        for front in fronts:
-            if len(chosen) + len(front) <= size:
-                chosen.extend(front)
-            else:
-                crowd = crowding_distance(objs, front)
-                ranked = sorted(front, key=lambda i: crowd[i], reverse=True)
-                chosen.extend(ranked[: size - len(chosen)])
-                break
-        return [combined[i] for i in chosen], [objs[i] for i in chosen]
+class Nsga2:
+    """NSGA-II over MUX-locking genotypes."""
+
+    def __init__(self, config: Nsga2Config) -> None:
+        self.config = config
+
+    def run(
+        self,
+        original: Netlist,
+        fitness: Callable[[Sequence[MuxGene]], Objectives],
+        evaluator: Evaluator | None = None,
+    ) -> Nsga2Result:
+        """Evolve a Pareto front of lockings of ``original``.
+
+        ``evaluator`` semantics match :meth:`GeneticAlgorithm.run`: the
+        serial default preserves the historical loop byte-for-byte, an
+        :class:`~repro.ec.evaluator.AsyncEvaluator` enables steady-state
+        mode, and the caller owns any pool passed in.
+        """
+        cfg = self.config
+        rng = derive_rng(cfg.seed)
+        evaluator = evaluator if evaluator is not None else SerialEvaluator()
+        policy = Nsga2Policy(cfg, original)
+        loop = SearchLoop(
+            policy, evaluator,
+            async_mode=resolve_async(cfg.async_mode, evaluator),
+        )
+        state = loop.run(fitness, rng)
+        return policy.result(state, state.wall_s)

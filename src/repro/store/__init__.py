@@ -18,10 +18,12 @@ from repro.store.base import (
     infer_backend,
     open_store,
 )
+from repro.store.gc import gc_store
 from repro.store.json_store import JSONStore
 from repro.store.sqlite_store import SQLiteStore
 
 __all__ = [
+    "gc_store",
     "STATUS_CLAIMED",
     "STATUS_DONE",
     "STATUS_FAILED",

@@ -70,6 +70,18 @@ class StoreBackend(Protocol):
         """Drop every entry under ``namespace``; other namespaces survive."""
         ...  # pragma: no cover - protocol
 
+    def delete_many(self, namespace: str, keys: list[str]) -> int:
+        """Drop specific entries from ``namespace``; returns how many."""
+        ...  # pragma: no cover - protocol
+
+    def vacuum(self) -> None:
+        """Compact the backing medium (reclaim space freed by deletes)."""
+        ...  # pragma: no cover - protocol
+
+    def disk_usage(self) -> int:
+        """Bytes currently held on disk (including any sidecar files)."""
+        ...  # pragma: no cover - protocol
+
     def namespaces(self) -> list[str]:
         """Sorted namespaces currently holding entries."""
         ...  # pragma: no cover - protocol
@@ -153,6 +165,11 @@ class WorkQueue(Protocol):
 
     def requeue_expired(self, sweep_id: str) -> int:
         """Return expired leases to ``pending``; returns how many."""
+        ...  # pragma: no cover - protocol
+
+    def retry_failed(self, sweep_id: str) -> int:
+        """Requeue every ``failed`` point with a fresh attempt budget;
+        returns how many flipped back to ``pending``."""
         ...  # pragma: no cover - protocol
 
     def queue_counts(self, sweep_id: str) -> dict[str, int]:

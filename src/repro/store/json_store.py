@@ -103,6 +103,41 @@ class JSONStore:
             else:
                 self.path.unlink()
 
+    def delete_many(self, namespace: str, keys) -> int:
+        """Drop specific entries from one namespace; returns how many."""
+        if not keys:
+            return 0
+        with self._lock:
+            payload = self._read_all()
+            entries = payload.get(namespace)
+            if not entries:
+                return 0
+            dropped = 0
+            for key in keys:
+                if key in entries:
+                    del entries[key]
+                    dropped += 1
+            if dropped:
+                if not entries:
+                    payload.pop(namespace, None)
+                self._write_all(payload)
+            return dropped
+
+    def vacuum(self) -> None:
+        """Rewrite the file compactly (drops nothing; JSON has no slack
+        beyond what a rewrite already reclaims)."""
+        with self._lock:
+            payload = self._read_all()
+            if payload or self.path.exists():
+                self._write_all(payload)
+
+    def disk_usage(self) -> int:
+        """Bytes currently held by the store file."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
     def namespaces(self) -> list[str]:
         with self._lock:
             return sorted(self._read_all())

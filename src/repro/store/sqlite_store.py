@@ -19,6 +19,7 @@ and safe to reopen by path in forked/spawned workers.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import sqlite3
@@ -232,6 +233,44 @@ class SQLiteStore:
             )
         )
 
+    def delete_many(self, namespace: str, keys: list[str]) -> int:
+        """Drop specific entries from one namespace; returns how many."""
+        if not keys:
+            return 0
+
+        def work(conn: sqlite3.Connection) -> int:
+            dropped = 0
+            for key in keys:
+                cursor = conn.execute(
+                    "DELETE FROM kv WHERE namespace = ? AND key = ?",
+                    (namespace, key),
+                )
+                dropped += cursor.rowcount
+            return dropped
+
+        return self._transaction(work, immediate=True)
+
+    def vacuum(self) -> None:
+        """Compact the database file (``VACUUM`` + WAL truncation)."""
+        def attempt() -> None:
+            conn = self._connect()
+            conn.execute("VACUUM")
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+        self._with_retry(attempt)
+
+    def disk_usage(self) -> int:
+        """Bytes currently held by the store's files (db + WAL sidecars)."""
+        total = 0
+        for path in (
+            self.path,
+            Path(str(self.path) + "-wal"),
+            Path(str(self.path) + "-shm"),
+        ):
+            with contextlib.suppress(OSError):
+                total += path.stat().st_size
+        return total
+
     def namespaces(self) -> list[str]:
         return sorted(
             row[0] for row in self._query("SELECT DISTINCT namespace FROM kv")
@@ -431,6 +470,23 @@ class SQLiteStore:
             return status
 
         return self._transaction(work, immediate=True)
+
+    def retry_failed(self, sweep_id: str) -> int:
+        """Requeue every ``failed`` point of one sweep; returns how many.
+
+        Attempt counters reset to zero and the stored error is cleared,
+        so the next worker gets a full ``max_attempts`` budget — the verb
+        behind ``autolock store retry`` for transient attack failures.
+        """
+        return self._transaction(
+            lambda conn: conn.execute(
+                "UPDATE sweep_points SET status = ?, worker_id = NULL, "
+                "lease_expires = NULL, error = NULL, attempts = 0 "
+                "WHERE sweep_id = ? AND status = ?",
+                (STATUS_PENDING, sweep_id, STATUS_FAILED),
+            ).rowcount,
+            immediate=True,
+        )
 
     def requeue_expired(self, sweep_id: str) -> int:
         return self._transaction(

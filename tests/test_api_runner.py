@@ -168,6 +168,43 @@ def test_unknown_engine_params_rejected():
         run_experiment(spec)
 
 
+def test_engine_run_records_resolved_loop_mode():
+    spec = c17_spec(
+        circuit="rand_100_9", key_length=4, metrics=(),
+        engine="ga",
+        engine_params={"population_size": 4, "generations": 2},
+        seed=2,
+    )
+    sync = run_experiment(spec)
+    assert sync.record["async_mode"] is False
+    # Static runs have no search loop.
+    assert run_experiment(c17_spec()).record["async_mode"] is None
+    # Steady state at one worker == steady state at any parallelism:
+    # same fingerprint, same deterministic record.
+    a = run_experiment(spec.with_updates(async_mode=True))
+    b = run_experiment(spec.with_updates(workers=2))
+    assert a.record["async_mode"] is True
+    assert a.fingerprint == b.fingerprint
+    assert a.deterministic_record() == b.deterministic_record()
+    assert a.fingerprint != sync.fingerprint
+
+
+def test_cli_run_async_sync_flags(tmp_path, capsys):
+    from repro.cli import main
+
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(c17_spec(
+        circuit="rand_100_9", key_length=4, metrics=(),
+        engine="ga",
+        engine_params={"population_size": 4, "generations": 2},
+        seed=2,
+    ).to_json())
+    assert main(["run", str(spec_path), "--async"]) == 0
+    assert "loop=async" in capsys.readouterr().out
+    assert main(["run", str(spec_path), "--sync"]) == 0
+    assert "loop=async" not in capsys.readouterr().out
+
+
 # ----------------------------------------------------- cache + artifacts
 def test_experiment_cache_replays_with_zero_fresh_evaluations(tmp_path):
     cache = str(tmp_path / "cache.json")

@@ -1,5 +1,6 @@
 """ExperimentSpec / SweepSpec: serialisation, validation, expansion."""
 
+import dataclasses
 import json
 
 import pytest
@@ -123,6 +124,76 @@ def test_fingerprint_ignores_execution_knobs():
     assert spec.fingerprint() != spec.with_updates(
         attack_params={"predictor": "bayes"}
     ).fingerprint()
+
+
+def test_async_mode_resolution_and_fingerprints():
+    """The *resolved* loop mode feeds the fingerprint: it changes the
+    search trajectory, but is identical at any worker count."""
+    engine = ExperimentSpec(
+        circuit="c17", key_length=2, engine="ga", seed=1,
+    )
+    # None resolves from workers — but only for engine specs.
+    assert engine.resolved_async_mode() is False
+    assert engine.with_updates(workers=4).resolved_async_mode() is True
+    assert engine.with_updates(async_mode=False, workers=4).resolved_async_mode() is False
+    static = ExperimentSpec(circuit="c17", key_length=2, seed=1)
+    assert static.with_updates(workers=8).resolved_async_mode() is False
+    # Static fingerprints stay worker-independent; engine fingerprints
+    # track the resolved mode, whichever way it was reached.
+    assert static.fingerprint() == static.with_updates(workers=8).fingerprint()
+    assert engine.fingerprint() != engine.with_updates(workers=4).fingerprint()
+    assert (
+        engine.with_updates(workers=4).fingerprint()
+        == engine.with_updates(async_mode=True).fingerprint()
+    ), "explicit async and workers-derived async are the same experiment"
+    assert (
+        engine.with_updates(async_mode=False, workers=4).fingerprint()
+        == engine.fingerprint()
+    ), "pinned sync at any worker count is the serial experiment"
+    with pytest.raises(SpecError, match="async_mode"):
+        ExperimentSpec(circuit="c17", async_mode="yes").validate()
+
+
+def test_sweep_fingerprint_tracks_resolved_point_modes():
+    """Worker counts never shift a static sweep's id; for engine sweeps
+    they only shift it when they flip the points' resolved loop mode
+    (which changes the results). Same-mode worker counts share queues."""
+    static = SweepSpec(
+        base=ExperimentSpec(circuit="c17", key_length=2),
+        axes={"seed": [0, 1]},
+    )
+    assert (
+        static.fingerprint()
+        == dataclasses.replace(static, workers=8).fingerprint()
+    )
+    engine = SweepSpec(
+        base=ExperimentSpec(circuit="c17", key_length=2, engine="ga"),
+        axes={"seed": [0, 1]},
+    )
+    serial_id = engine.fingerprint()
+    four = dataclasses.replace(engine, workers=4).fingerprint()
+    eight = dataclasses.replace(engine, workers=8).fingerprint()
+    assert four == eight, "same resolved mode -> same queue rows"
+    assert four != serial_id, "sync and steady-state are different sweeps"
+    # Pinning the mode makes the id worker-count independent again.
+    pinned = dataclasses.replace(engine, async_mode=True)
+    assert (
+        pinned.fingerprint()
+        == dataclasses.replace(pinned, workers=4).fingerprint()
+    )
+
+
+def test_sweep_async_mode_applies_to_every_point_and_sweep_id():
+    base = ExperimentSpec(circuit="c17", key_length=2, engine="ga")
+    plain = SweepSpec(base=base, axes={"seed": [0, 1]})
+    pinned = SweepSpec(base=base, axes={"seed": [0, 1]}, async_mode=True)
+    assert all(s.async_mode is True for s in pinned.expand())
+    assert all(s.resolved_async_mode() for s in pinned.expand())
+    assert plain.fingerprint() != pinned.fingerprint()
+    # Round-trips through JSON.
+    again = SweepSpec.from_json(pinned.to_json())
+    assert again.async_mode is True
+    assert again.fingerprint() == pinned.fingerprint()
 
 
 # -------------------------------------------------------------- sweeps

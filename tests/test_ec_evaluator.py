@@ -348,6 +348,12 @@ def test_autolock_warm_disk_cache_skips_all_attacks(circuit, tmp_path):
 
 
 def test_autolock_workers_match_serial(circuit, tmp_path):
+    """Pool-sync mode stays byte-identical to serial at any worker count.
+
+    ``workers >= 2`` defaults to the steady-state loop these days, so the
+    sync-generational contract is pinned with ``async_mode=False`` (the
+    async determinism contract lives in ``test_ec_loop.py``).
+    """
     base = dict(
         key_length=6,
         population_size=4,
@@ -358,7 +364,9 @@ def test_autolock_workers_match_serial(circuit, tmp_path):
         seed=17,
     )
     serial = AutoLock(AutoLockConfig(**base)).run(circuit)
-    pooled = AutoLock(AutoLockConfig(**base, workers=2)).run(circuit)
+    pooled = AutoLock(
+        AutoLockConfig(**base, workers=2, async_mode=False)
+    ).run(circuit)
     assert pooled.evolved_accuracy == serial.evolved_accuracy
     assert pooled.baseline_accuracy == serial.baseline_accuracy
     assert pooled.ga.best_genotype == serial.ga.best_genotype

@@ -1,0 +1,317 @@
+"""The unified search loop: sync golden equivalence + async determinism.
+
+Two contracts pin the ``repro.ec.loop`` refactor:
+
+* **sync** (``async_mode=False``) reproduces the legacy hand-rolled
+  engine loops byte-identically — asserted against the same golden
+  trajectories ``test_ec_determinism.py`` pins, plus an AutoLock
+  pipeline golden captured on the pre-refactor implementation;
+* **async** (steady-state) is a deterministic function of the seed:
+  completions integrate in submission order, so any worker count — and
+  a serial replay — produces the identical champion set.
+
+Plus the crash-safety satellite: a raised attack error flushes dirty
+fitness-cache entries (and salvages completed pool siblings) before
+propagating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.ec import (
+    AsyncEvaluator,
+    AutoLock,
+    AutoLockConfig,
+    FitnessCache,
+    GaConfig,
+    GeneticAlgorithm,
+    Nsga2,
+    Nsga2Config,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+)
+from repro.ec.genotype import genotype_key, random_genotype
+from repro.errors import EvolutionError
+
+from test_ec_determinism import (
+    GA_RAND100_BESTS,
+    GA_RAND100_MEANS,
+    GA_RAND100_SHA,
+    NSGA2_FRONT,
+    ones_fitness,
+    two_objectives,
+)
+
+
+def _champion_sha(genes) -> str:
+    return hashlib.sha256(repr(genotype_key(genes)).encode()).hexdigest()
+
+
+#: AutoLock golden, captured on the pre-refactor (hand-rolled loop)
+#: implementation: rand_150_5, K=8, pop=4, gens=3, bayes fitness+report,
+#: report_ensemble=1, seed=11.
+AUTOLOCK_BASELINE = 0.625
+AUTOLOCK_EVOLVED = 0.4375
+AUTOLOCK_BESTS = [0.5, 0.4375, 0.4375]
+AUTOLOCK_SHA = "19abb98c8208ac35070f98a1cfcf06699f059d323ce772e2d31b739aed9d2fa9"
+
+
+def _autolock_config(**overrides) -> AutoLockConfig:
+    base = dict(
+        key_length=8,
+        population_size=4,
+        generations=3,
+        fitness_predictor="bayes",
+        report_predictor="bayes",
+        report_ensemble=1,
+        seed=11,
+    )
+    base.update(overrides)
+    return AutoLockConfig(**base)
+
+
+# ------------------------------------------------ sync golden equivalence
+def test_sync_ga_reproduces_legacy_golden_through_async_evaluator():
+    """The loop's sync path over an AsyncEvaluator's batch API must still
+    walk the exact legacy trajectory (the serial/pool variants are pinned
+    in test_ec_determinism.py)."""
+    circuit = load_circuit("rand_100_7")
+    config = GaConfig(
+        key_length=10, population_size=8, generations=8,
+        mutation="key_only", seed=42, async_mode=False,
+    )
+    with AsyncEvaluator(workers=2) as evaluator:
+        result = GeneticAlgorithm(config).run(
+            circuit, ones_fitness, evaluator=evaluator
+        )
+    assert [s.best for s in result.history] == GA_RAND100_BESTS
+    assert [s.mean for s in result.history] == GA_RAND100_MEANS
+    assert _champion_sha(result.best_genotype) == GA_RAND100_SHA
+
+
+def test_sync_nsga2_reproduces_legacy_golden():
+    circuit = load_circuit("rand_100_7")
+    config = Nsga2Config(
+        key_length=6, population_size=8, generations=5, seed=5,
+        async_mode=False,
+    )
+    result = Nsga2(config).run(circuit, two_objectives)
+    assert sorted(result.front_objectives) == NSGA2_FRONT
+
+
+def test_sync_autolock_reproduces_prerefactor_golden():
+    """The full pipeline (GA + report stage) over the loop, vs the values
+    captured on the pre-refactor implementation."""
+    circuit = load_circuit("rand_150_5")
+    result = AutoLock(_autolock_config()).run(circuit)
+    assert result.baseline_accuracy == AUTOLOCK_BASELINE
+    assert result.evolved_accuracy == AUTOLOCK_EVOLVED
+    assert [s.best for s in result.ga.history] == AUTOLOCK_BESTS
+    assert _champion_sha(result.ga.best_genotype) == AUTOLOCK_SHA
+
+
+# --------------------------------------------------- async determinism
+def test_async_ga_deterministic_across_worker_counts():
+    """Steady state integrates completions in submission order, so the
+    trajectory — not just the champion — is identical at any parallelism,
+    including a 1-worker serial replay."""
+    circuit = load_circuit("rand_100_7")
+    config = GaConfig(
+        key_length=10, population_size=8, generations=6,
+        mutation="key_only", seed=42, async_mode=True,
+    )
+
+    def run(workers: int):
+        with AsyncEvaluator(workers=workers) as evaluator:
+            return GeneticAlgorithm(config).run(
+                circuit, ones_fitness, evaluator=evaluator
+            )
+
+    replay = run(1)
+    parallel = run(3)
+    assert parallel.hall_of_fame == replay.hall_of_fame
+    assert parallel.best_genotype == replay.best_genotype
+    assert parallel.best_fitness == replay.best_fitness
+    assert [
+        (s.best, s.mean, s.std) for s in parallel.history
+    ] == [(s.best, s.mean, s.std) for s in replay.history]
+    assert parallel.evaluations == replay.evaluations == 6 * 8
+
+
+def test_async_nsga2_deterministic_across_worker_counts():
+    circuit = load_circuit("rand_100_7")
+    config = Nsga2Config(
+        key_length=6, population_size=8, generations=4, seed=5,
+        async_mode=True,
+    )
+
+    def run(workers: int):
+        with AsyncEvaluator(workers=workers) as evaluator:
+            return Nsga2(config).run(circuit, two_objectives, evaluator=evaluator)
+
+    replay = run(1)
+    parallel = run(3)
+    assert parallel.front_objectives == replay.front_objectives
+    assert parallel.front_genotypes == replay.front_genotypes
+    assert len(parallel.history) == config.generations
+
+
+def test_async_autolock_serial_replay_matches_parallel():
+    """AutoLockConfig(workers=2) defaults to steady state; a 1-worker
+    async replay of the same seed must land on the same champion set."""
+    circuit = load_circuit("rand_150_5")
+    parallel = AutoLock(_autolock_config(workers=2)).run(circuit)
+    replay = AutoLock(
+        _autolock_config(workers=1, async_mode=True)
+    ).run(circuit)
+    assert parallel.ga.best_genotype == replay.ga.best_genotype
+    assert parallel.ga.hall_of_fame == replay.ga.hall_of_fame
+    assert parallel.evolved_accuracy == replay.evolved_accuracy
+    assert parallel.baseline_accuracy == replay.baseline_accuracy
+
+
+def test_async_window_stats_are_per_run_on_a_shared_evaluator():
+    """Sweeps share one AsyncEvaluator across points: each run's windowed
+    history must account only its own dispatches, not the pool's
+    lifetime totals."""
+    circuit = load_circuit("rand_100_7")
+    budget = 3 * 6
+
+    def config(seed):
+        return GaConfig(
+            key_length=8, population_size=6, generations=3,
+            mutation="key_only", seed=seed, async_mode=True,
+        )
+
+    with AsyncEvaluator(workers=2) as evaluator:
+        first = GeneticAlgorithm(config(1)).run(
+            circuit, ones_fitness, evaluator=evaluator
+        )
+        second = GeneticAlgorithm(config(2)).run(
+            circuit, ones_fitness, evaluator=evaluator
+        )
+    for result in (first, second):
+        misses = [s.cache_misses for s in result.history]
+        assert all(m >= 0 for m in misses)
+        assert sum(misses) <= budget, (
+            "window stats leaked another run's evaluator totals"
+        )
+
+
+def test_async_early_stop_cancels_remaining_budget():
+    """Hitting target_fitness mid-stream stops the loop early and cancels
+    what it can instead of burning the full budget."""
+    circuit = load_circuit("rand_100_7")
+    config = GaConfig(
+        key_length=6, population_size=8, generations=50,
+        mutation="key_only", target_fitness=0.0, seed=3, async_mode=True,
+    )
+    with AsyncEvaluator(workers=2) as evaluator:
+        result = GeneticAlgorithm(config).run(
+            circuit, ones_fitness, evaluator=evaluator
+        )
+    assert result.best_fitness == 0.0
+    assert result.stopped_early
+    assert result.evaluations < 50 * 8
+
+
+def test_async_mode_requires_future_capable_evaluator():
+    circuit = load_circuit("rand_100_7")
+    config = GaConfig(
+        key_length=4, population_size=4, generations=2, async_mode=True,
+    )
+    with pytest.raises(EvolutionError, match="future-capable"):
+        GeneticAlgorithm(config).run(
+            circuit, ones_fitness, evaluator=SerialEvaluator()
+        )
+
+
+def test_async_config_validation():
+    with pytest.raises(EvolutionError, match="async_backlog"):
+        GaConfig(async_backlog=0)
+    with pytest.raises(EvolutionError, match="async_backlog"):
+        Nsga2Config(async_backlog=0)
+
+
+# ------------------------------------------- crash-safe cache flushing
+class ExplodingFitness:
+    """Cache-fronted fitness that batches its writes and then crashes.
+
+    Mimics an engine fitness whose persistence relies on a later flush
+    (``put(flush=False)``): without the loop's flush-on-exception, every
+    evaluation paid for before the crash would be lost.
+    """
+
+    def __init__(self, cache: FitnessCache, explode_after: int) -> None:
+        self.cache = cache
+        self.explode_after = explode_after
+        self.evaluations = 0
+
+    def __call__(self, genes) -> float:
+        key = genotype_key(genes)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return float(cached)
+        if self.evaluations >= self.explode_after:
+            raise RuntimeError("attack backend crashed")
+        self.evaluations += 1
+        value = ones_fitness(genes)
+        self.cache.put(key, value, flush=False)
+        return value
+
+
+def test_engine_crash_flushes_dirty_cache_entries(tmp_path):
+    circuit = load_circuit("rand_100_7")
+    path = tmp_path / "cache.json"
+    fitness = ExplodingFitness(
+        FitnessCache(path=path, namespace="ns"), explode_after=5
+    )
+    config = GaConfig(
+        key_length=6, population_size=8, generations=4, seed=2,
+    )
+    with pytest.raises(RuntimeError, match="attack backend crashed"):
+        GeneticAlgorithm(config).run(circuit, fitness)
+    reloaded = FitnessCache(path=path, namespace="ns")
+    assert len(reloaded.store) == 5, (
+        "the evaluations paid for before the crash must be on disk"
+    )
+
+
+class PoisonFitness:
+    """Picklable fitness that crashes on one specific genotype."""
+
+    def __init__(self, poison: tuple, cache: FitnessCache) -> None:
+        self.poison = poison
+        self.cache = cache
+        self.evaluations = 0
+
+    def __call__(self, genes) -> float:
+        if genotype_key(genes) == self.poison:
+            raise RuntimeError("poisoned genotype")
+        return ones_fitness(genes)
+
+
+def test_pool_crash_salvages_completed_sibling_evaluations(tmp_path):
+    """One failing task in a pool batch must not discard its siblings'
+    finished values: they are merged into the cache and flushed before
+    the error propagates."""
+    circuit = load_circuit("rand_100_7")
+    genomes = [random_genotype(circuit, 4, seed_or_rng=s) for s in range(4)]
+    poison = genotype_key(genomes[1])
+    path = tmp_path / "cache.json"
+    fitness = PoisonFitness(
+        poison, FitnessCache(path=path, namespace="ns")
+    )
+    with ProcessPoolEvaluator(workers=2) as evaluator:
+        with pytest.raises(RuntimeError, match="poisoned genotype"):
+            evaluator.evaluate(genomes, fitness)
+    reloaded = FitnessCache(path=path, namespace="ns")
+    salvaged = [g for g in genomes if genotype_key(g) != poison]
+    assert all(
+        reloaded.get(genotype_key(g)) is not None for g in salvaged
+    ), "completed sibling evaluations must survive the batch failure"
+    assert reloaded.get(poison) is None

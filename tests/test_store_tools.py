@@ -1,0 +1,218 @@
+"""Store operations: ``autolock store retry`` and ``autolock store gc``.
+
+Retry contract: a transiently-poisoned sweep point that exhausted its
+attempt budget is parked as ``failed``; the retry verb flips it back to
+``pending`` with a fresh budget so the next worker completes it once the
+transient cause is gone. Exit codes: 0 = requeued, 1 = nothing failed,
+2 = missing store / unknown sweep.
+
+GC contract: experiment records whose stored spec no longer fingerprints
+to its own key (schema drift, removed plugins, garbage) are dropped, the
+store is compacted (VACUUM), and the report counts bytes reclaimed —
+while resolvable records and per-genotype fitness namespaces survive.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.dist.worker as worker_mod
+from repro.api import ExperimentSpec, SweepSpec, run_experiment
+from repro.api.runner import EXPERIMENT_NAMESPACE
+from repro.cli import main
+from repro.dist import SweepScheduler, Worker
+from repro.dist.scheduler import _record_key
+from repro.store import SQLiteStore, ensure_queue, gc_store
+
+
+def _sweep(cache_path, n_points: int = 2) -> SweepSpec:
+    return SweepSpec(
+        name="retry_sweep",
+        base=ExperimentSpec(
+            circuit="rand_150_5",
+            key_length=4,
+            scheme="dmux",
+            attack="muxlink",
+            attack_params={"predictor": "bayes"},
+            seed=1,
+        ),
+        axes={"key_length": [4, 6][:n_points]},
+        cache_path=str(cache_path),
+    )
+
+
+# ------------------------------------------------------------- retry
+def test_store_retry_requeues_transient_failure_to_success(
+    tmp_path, monkeypatch, capsys
+):
+    """Poison-pill point fails out, `store retry` requeues it, and the
+    retried run completes once the transient cause is gone."""
+    store_path = tmp_path / "store.sqlite"
+    sweep = _sweep(store_path)
+    scheduler = SweepScheduler(sweep, max_attempts=1)
+    scheduler.enqueue()
+    poisoned_fp = sweep.expand()[0].fingerprint()
+    flag = tmp_path / "attack-backend-down"
+    flag.touch()
+
+    real_run = worker_mod.run_experiment
+
+    def flaky_run(spec, **kwargs):
+        if spec.fingerprint() == poisoned_fp and flag.exists():
+            raise RuntimeError("transient attack backend outage")
+        return real_run(spec, **kwargs)
+
+    monkeypatch.setattr(worker_mod, "run_experiment", flaky_run)
+
+    report = Worker(
+        store_path=str(store_path), sweep_id=scheduler.sweep_id,
+        max_attempts=1,
+    ).run()
+    assert report.points_failed == 1 and report.points_completed == 1
+
+    store = SQLiteStore(store_path)
+    rows = {p["fingerprint"]: p for p in store.points(scheduler.sweep_id)}
+    assert rows[poisoned_fp]["status"] == "failed"
+    assert "transient attack backend outage" in rows[poisoned_fp]["error"]
+    store.close()
+
+    # The transient cause clears; retry requeues with a fresh budget.
+    flag.unlink()
+    assert (
+        main(["store", "retry", str(store_path), scheduler.sweep_id]) == 0
+    )
+    assert "requeued 1 failed point" in capsys.readouterr().out
+    store = SQLiteStore(store_path)
+    rows = {p["fingerprint"]: p for p in store.points(scheduler.sweep_id)}
+    assert rows[poisoned_fp]["status"] == "pending"
+    assert rows[poisoned_fp]["attempts"] == 0
+    assert rows[poisoned_fp]["error"] is None
+    store.close()
+
+    report = Worker(
+        store_path=str(store_path), sweep_id=scheduler.sweep_id,
+        max_attempts=1,
+    ).run()
+    assert report.points_completed == 1 and report.points_failed == 0
+    store = SQLiteStore(store_path)
+    assert all(
+        p["status"] == "done" for p in store.points(scheduler.sweep_id)
+    ), "the retried point must succeed once the transient cause is gone"
+    store.close()
+
+    # Nothing failed anymore: exit code 1 says "nothing to retry".
+    assert (
+        main(["store", "retry", str(store_path), scheduler.sweep_id]) == 1
+    )
+    assert "no failed points" in capsys.readouterr().out
+
+
+def test_store_retry_error_paths(tmp_path, capsys):
+    missing = tmp_path / "nope.sqlite"
+    assert main(["store", "retry", str(missing), "deadbeef"]) == 2
+    assert "no store at" in capsys.readouterr().err
+
+    # Store exists but the sweep id is unknown.
+    store_path = tmp_path / "store.sqlite"
+    store = SQLiteStore(store_path)
+    store.status()  # touch the database so the file exists
+    store.close()
+    assert main(["store", "retry", str(store_path), "deadbeef"]) == 2
+    assert "no sweep" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------- gc
+def _seed_record(tmp_path):
+    """One resolvable experiment record in a SQLite store."""
+    store_path = tmp_path / "gc.sqlite"
+    spec = ExperimentSpec(
+        circuit="rand_150_5", key_length=4,
+        attack="muxlink", attack_params={"predictor": "bayes"},
+        seed=1, cache_path=str(store_path),
+    )
+    result = run_experiment(spec)
+    # run_experiment persisted the record through the spec's cache_path.
+    assert not result.from_cache
+    return store_path, spec
+
+
+def test_store_gc_drops_unresolvable_records_and_compacts(tmp_path, capsys):
+    store_path, spec = _seed_record(tmp_path)
+    store = SQLiteStore(store_path)
+    # Stale records: a fingerprint that no longer matches its stored spec
+    # (schema drift), a spec naming a de-registered plugin, and garbage.
+    drifted = dict(store.get(EXPERIMENT_NAMESPACE, _record_key(spec)))
+    store.put_many(EXPERIMENT_NAMESPACE, {
+        '[["spec","0000000000000000"]]': drifted,
+        '[["spec","1111111111111111"]]': {
+            "spec": {"circuit": "rand_150_5", "attack": "laser"},
+        },
+        "not-a-spec-key": {"spec": {}},
+    })
+    # Fitness namespaces must never be collected.
+    store.put_many("rand_150_5|fitness", {"k": 0.5})
+    # Deleted bulk makes the VACUUM measurable.
+    store.put_many(
+        "bloat", {f"k{i}": "x" * 256 for i in range(2000)}
+    )
+    store.wipe_namespace("bloat")
+    store.close()
+
+    assert main(["store", "gc", str(store_path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["examined"] == 4
+    assert report["dropped"] == 3
+    assert report["kept"] == 1
+    assert report["bytes_reclaimed"] > 0, "VACUUM must reclaim the bloat"
+
+    store = SQLiteStore(store_path)
+    assert store.get(EXPERIMENT_NAMESPACE, _record_key(spec)) is not None
+    assert store.get(EXPERIMENT_NAMESPACE, "not-a-spec-key") is None
+    assert store.get("rand_150_5|fitness", "k") == 0.5
+    store.close()
+
+    # The surviving record still replays with zero fresh evaluations.
+    warm = run_experiment(spec)
+    assert warm.from_cache and warm.fresh_evaluations == 0
+
+
+def test_store_gc_json_backend(tmp_path):
+    """GC over the JSON store: same semantics, compaction via rewrite."""
+    cache_path = tmp_path / "cache.json"
+    spec = ExperimentSpec(
+        circuit="rand_150_5", key_length=4,
+        attack="muxlink", attack_params={"predictor": "bayes"},
+        seed=2, cache_path=str(cache_path),
+    )
+    run_experiment(spec)
+    from repro.store import JSONStore
+
+    store = JSONStore(cache_path)
+    store.put_many(EXPERIMENT_NAMESPACE, {"garbage-key": {"spec": {}}})
+    report = gc_store(cache_path)
+    assert report["examined"] == 2
+    assert report["dropped"] == 1 and report["kept"] == 1
+    assert run_experiment(spec).from_cache
+
+
+def test_store_gc_missing_store_exits_2(tmp_path, capsys):
+    assert main(["store", "gc", str(tmp_path / "nope.sqlite")]) == 2
+    assert "no store at" in capsys.readouterr().err
+
+
+def test_queue_retry_failed_api(tmp_path):
+    """Direct WorkQueue.retry_failed: only failed rows flip, budget resets."""
+    store = SQLiteStore(tmp_path / "q.sqlite")
+    queue = ensure_queue(store)
+    queue.enqueue_points("sw", {"a": {"x": 1}, "b": {"x": 2}})
+    point = queue.claim("sw", "w1", ttl=60)
+    assert queue.fail("sw", point.fingerprint, "w1", "boom", max_attempts=1) == "failed"
+    assert queue.queue_counts("sw") == {"failed": 1, "pending": 1}
+    assert queue.retry_failed("sw") == 1
+    assert queue.queue_counts("sw") == {"pending": 2}
+    rows = {p["fingerprint"]: p for p in store.points("sw")}
+    assert rows[point.fingerprint]["attempts"] == 0
+    assert queue.retry_failed("sw") == 0
+    store.close()
