@@ -18,9 +18,9 @@ The unified entry point for every experiment in this repository::
 
 Specs serialise losslessly to JSON (``autolock run spec.json``), sweeps
 expand grid axes over a base spec (``autolock sweep sweep.json``), and
-every component name — scheme, attack, predictor, engine, metric — is
-resolved through :mod:`repro.registry`, so plugging in a new
-implementation requires exactly one ``@register_*`` decorator.
+every component name — scheme, locking primitive, attack, predictor,
+engine, metric — is resolved through :mod:`repro.registry`, so plugging
+in a new implementation requires exactly one ``@register_*`` decorator.
 """
 
 from repro.api.artifacts import (

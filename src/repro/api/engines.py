@@ -33,24 +33,37 @@ from repro.ec.ga import GaConfig, GeneticAlgorithm
 from repro.ec.nsga2 import Nsga2, Nsga2Config
 from repro.errors import SpecError
 from repro.locking.base import LockedCircuit
-from repro.locking.dmux import MuxGene
 from repro.locking.genome_lock import lock_with_genes
+from repro.locking.primitives import Gene, get_primitive, primitive_for_gene
 from repro.netlist.netlist import Netlist
 from repro.registry import register_engine
 
 
-def genotype_record(genes: Sequence[MuxGene] | None) -> list[dict] | None:
-    """JSON-safe champion genotype; inverse of :func:`genotype_from_record`."""
+def genotype_record(genes: Sequence[Gene] | None) -> list[dict] | None:
+    """JSON-safe champion genotype; inverse of :func:`genotype_from_record`.
+
+    Each gene record names its primitive ``kind`` alongside the gene
+    fields, so heterogeneous champions replay through the registry.
+    """
     if genes is None:
         return None
-    return [dataclasses.asdict(g) for g in genes]
+    return [primitive_for_gene(g).gene_record(g) for g in genes]
 
 
-def genotype_from_record(data: Sequence[dict] | None) -> list[MuxGene] | None:
-    """Rebuild a genotype from its record form."""
+def genotype_from_record(data: Sequence[dict] | None) -> list[Gene] | None:
+    """Rebuild a genotype from its record form.
+
+    Records written before the alphabet refactor carry no ``kind`` tag;
+    they decode as the historical MUX genes.
+    """
     if data is None:
         return None
-    return [MuxGene(**g) for g in data]
+    genes: list[Gene] = []
+    for record in data:
+        record = dict(record)
+        kind = record.pop("kind", "mux")
+        genes.append(get_primitive(kind).gene_from_record(record))
+    return genes
 
 
 def _attack_seed(spec) -> int:
@@ -69,7 +82,7 @@ class EngineOutcome:
     """
 
     engine: str
-    best_genotype: list[MuxGene] | None
+    best_genotype: list[Gene] | None
     best_fitness: float | None
     locked: LockedCircuit | None
     fresh_evaluations: int
@@ -163,9 +176,11 @@ class GaEngine:
             ) -> EngineOutcome:
         config = _config_from_params(
             GaConfig, dict(spec.engine_params),
-            reserved=("key_length", "seed", "async_mode"), kind="ga",
+            reserved=("key_length", "seed", "async_mode", "alphabet"),
+            kind="ga",
             key_length=spec.key_length, seed=spec.seed,
             async_mode=spec.resolved_async_mode(),
+            alphabet=spec.resolved_alphabet(),
         )
         fitness = _spec_fitness(spec, circuit, _attack_seed(spec))
         owns = evaluator is None
@@ -248,11 +263,12 @@ class AutoLockEngine:
         config = _config_from_params(
             AutoLockConfig, params,
             reserved=("key_length", "seed", "workers", "cache_path", "store",
-                      "async_mode"),
+                      "async_mode", "alphabet"),
             kind="autolock",
             key_length=spec.key_length, seed=spec.seed,
             workers=spec.workers, cache_path=spec.cache_path,
             store=spec.store, async_mode=spec.resolved_async_mode(),
+            alphabet=spec.resolved_alphabet(),
         )
         result = AutoLock(config).run(circuit, evaluator=evaluator)
         fresh = result.fitness_evaluations + result.report_evaluations
@@ -306,9 +322,11 @@ class Nsga2Engine:
         }
         config = _config_from_params(
             Nsga2Config, params,
-            reserved=("key_length", "seed", "async_mode"), kind="nsga2",
+            reserved=("key_length", "seed", "async_mode", "alphabet"),
+            kind="nsga2",
             key_length=spec.key_length, seed=spec.seed,
             async_mode=spec.resolved_async_mode(),
+            alphabet=spec.resolved_alphabet(),
         )
         # Every attack_params entry beyond the predictor choice is forwarded
         # to the MuxLink predictor (epochs, ensemble, ...) so the fingerprint
@@ -389,10 +407,16 @@ class TrajectorySearchEngine:
                 f"{self.name} engine_params may not set async_mode; "
                 "use the spec-level async_mode field"
             )
+        if "alphabet" in params:
+            raise SpecError(
+                f"{self.name} engine_params may not set alphabet; "
+                "use the spec-level alphabet field"
+            )
         try:
             searcher = self.searcher_cls(
                 key_length=spec.key_length, seed=spec.seed,
-                async_mode=spec.resolved_async_mode(), **params
+                async_mode=spec.resolved_async_mode(),
+                alphabet=spec.resolved_alphabet(), **params
             )
         except TypeError as exc:
             raise SpecError(

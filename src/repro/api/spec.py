@@ -26,7 +26,15 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.circuits import known_circuit
-from repro.errors import SpecError
+from repro.errors import LockingError, SpecError
+# The canonical default lives with the primitives: specs must elide the
+# same alphabet the engines actually resolve, or fingerprints would
+# silently cover a different search space.
+from repro.locking.primitives import (
+    DEFAULT_ALPHABET,
+    normalize_alphabet,
+    resolve_alphabet,
+)
 from repro.registry import ATTACKS, ENGINES, METRICS, SCHEMES, STORES
 
 #: spec fields excluded from the fingerprint: execution knobs steer *how*
@@ -94,6 +102,13 @@ class ExperimentSpec:
     #: the worker count, since async runs integrate completions in
     #: submission order.
     async_mode: bool | None = None
+    #: locking-primitive alphabet engine genotypes compose
+    #: (``repro.registry.PRIMITIVES``); order matters — it indexes the
+    #: per-gene kind draws. The *resolved* alphabet feeds the
+    #: fingerprint (see :meth:`resolved_alphabet`): the default
+    #: ``("mux",)`` is elided, so pre-alphabet fingerprints — and the
+    #: experiment records cached under them — remain valid.
+    alphabet: tuple[str, ...] = DEFAULT_ALPHABET
     workers: int = 1
     cache_path: str | None = None
     #: store backend name for ``cache_path`` (``repro.registry.STORES``);
@@ -114,6 +129,15 @@ class ExperimentSpec:
             {k: _frozen_params(v) for k, v in _frozen_params(self.metric_params).items()},
         )
         object.__setattr__(self, "metrics", tuple(self.metrics))
+        # Shape only (null = default, strings rejected with a hint);
+        # registry validation stays in validate() like every other
+        # component name.
+        try:
+            object.__setattr__(
+                self, "alphabet", normalize_alphabet(self.alphabet)
+            )
+        except LockingError as exc:
+            raise SpecError(str(exc)) from exc
         if self.cache_path is not None:
             object.__setattr__(self, "cache_path", str(self.cache_path))
 
@@ -140,6 +164,16 @@ class ExperimentSpec:
         if self.async_mode is not None and not isinstance(self.async_mode, bool):
             raise SpecError(
                 f"async_mode must be true, false, or null, got {self.async_mode!r}"
+            )
+        try:
+            resolve_alphabet(self.alphabet)
+        except LockingError as exc:  # empty / duplicates; unknown names
+            raise SpecError(str(exc)) from exc  # raise RegistryError as-is
+        if self.engine is None and self.resolved_alphabet() != DEFAULT_ALPHABET:
+            raise SpecError(
+                "alphabet configures the genotype of search engines; a "
+                "static spec (engine=null) locks with its scheme — drop "
+                "the alphabet or set an engine"
             )
         SCHEMES.get(self.scheme)
         if self.store is not None:
@@ -171,6 +205,7 @@ class ExperimentSpec:
         """Plain JSON-safe dict; inverse of :meth:`from_dict`."""
         data = dataclasses.asdict(self)
         data["metrics"] = list(self.metrics)
+        data["alphabet"] = list(self.alphabet)
         return data
 
     @classmethod
@@ -215,6 +250,14 @@ class ExperimentSpec:
             return bool(self.async_mode)
         return self.workers > 1
 
+    def resolved_alphabet(self) -> tuple[str, ...]:
+        """The genotype alphabet this spec actually searches.
+
+        A normalised tuple of primitive names; only engines consume it,
+        and order is significant (kind draws index into it).
+        """
+        return tuple(self.alphabet)
+
     def deterministic_dict(self) -> dict[str, Any]:
         """The spec minus execution-only fields (workers, cache_path).
 
@@ -223,11 +266,21 @@ class ExperimentSpec:
         mode determines the result — but the resolved value is the same
         at any worker count (async integrates completions in submission
         order), which keeps fingerprints execution-independent.
+
+        ``alphabet`` is likewise recorded resolved, with the default
+        ``("mux",)`` elided entirely: the pre-alphabet search space
+        fingerprints exactly as it always did, so existing experiment
+        caches stay warm across the alphabet refactor.
         """
         data = self.to_dict()
         for key in _EXECUTION_FIELDS:
             data.pop(key, None)
         data["async_mode"] = self.resolved_async_mode()
+        resolved = self.resolved_alphabet()
+        if resolved == DEFAULT_ALPHABET:
+            data.pop("alphabet", None)
+        else:
+            data["alphabet"] = list(resolved)
         return data
 
     def fingerprint(self) -> str:
@@ -243,6 +296,8 @@ class ExperimentSpec:
                  f"scheme={self.scheme}"]
         if self.engine:
             parts.append(f"engine={self.engine}")
+            if self.resolved_alphabet() != DEFAULT_ALPHABET:
+                parts.append(f"alphabet={','.join(self.resolved_alphabet())}")
         if self.attack:
             parts.append(f"attack={self.attack}")
         if self.tag:

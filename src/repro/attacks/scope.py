@@ -139,12 +139,24 @@ class ScopeAttack(Attack):
         #: minimum score difference required to commit to a guess
         self.margin = margin
 
-    def run(self, locked: LockedCircuit, seed_or_rng=None) -> AttackReport:
+    def run(
+        self,
+        locked: LockedCircuit,
+        seed_or_rng=None,
+        key_names=None,
+    ) -> AttackReport:
+        """Attack ``locked``; ``key_names`` restricts the propagation to a
+        subset of key inputs (the rest report undecided) — the composite
+        fitness uses this to pay for exactly the scope-scored bits."""
         started = time.perf_counter()
         netlist = locked.netlist
+        targets = set(netlist.key_inputs if key_names is None else key_names)
         guesses: dict[str, int | None] = {}
         details: dict[str, tuple[float, float]] = {}
         for key_name in netlist.key_inputs:
+            if key_name not in targets:
+                guesses[key_name] = None
+                continue
             score0 = propagate_constant(netlist, {key_name: 0}).total
             score1 = propagate_constant(netlist, {key_name: 1}).total
             details[key_name] = (score0, score1)

@@ -14,8 +14,8 @@ Subcommands
 ``store``    operate on a shared experiment store: ``store status``
              (inspect), ``store retry`` (requeue failed sweep points),
              ``store gc`` (drop unreachable experiment records + compact)
-``plugins``  list every registered scheme / attack / predictor / engine /
-             metric / store backend
+``plugins``  list every registered scheme / locking primitive / attack /
+             predictor / engine / metric / store backend
 ``info``     print statistics of a benchmark circuit or the whole suite
 
 All component names are resolved through :mod:`repro.registry`, so a
@@ -109,10 +109,34 @@ def _print_autolock_result(result, cache_path) -> None:
         print(f"fitness cache: {cache_path}")
 
 
+def _parse_alphabet(value: str | None) -> tuple[str, ...] | None:
+    """Parse ``--alphabet mux,xor,...`` against the PRIMITIVES registry.
+
+    Returns ``None`` when the flag was not given; an unknown name raises
+    :class:`~repro.errors.RegistryError` listing the registered
+    primitives — every subcommand maps that to exit code 2, the same
+    contract as unknown ``--attack`` / ``--scheme`` names.
+    """
+    if value is None:
+        return None
+    from repro.locking.primitives import resolve_alphabet
+
+    names = tuple(n.strip() for n in value.split(",") if n.strip())
+    # raises LockingError (empty/duplicates) or RegistryError (unknown
+    # name, listing the registered primitives) — both map to exit 2.
+    return resolve_alphabet(names or ())
+
+
 def _cmd_evolve(args: argparse.Namespace) -> int:
     from repro.api import ExperimentSpec, run_experiment
+    from repro.errors import ReproError
     from repro.io import save_locked_design
 
+    try:
+        alphabet = _parse_alphabet(args.alphabet)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     spec = ExperimentSpec(
         circuit=args.circuit,
         key_length=args.key_length,
@@ -128,6 +152,7 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         workers=max(1, args.workers),
         async_mode=args.async_mode,
         cache_path=args.cache,
+        **({"alphabet": alphabet} if alphabet is not None else {}),
     )
     result = run_experiment(spec)
     if result.from_cache:
@@ -152,6 +177,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
 
     try:
+        alphabet = _parse_alphabet(args.alphabet)
         spec = ExperimentSpec.from_file(args.spec)
         if args.workers is not None:
             spec = spec.with_updates(workers=args.workers)
@@ -161,6 +187,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             spec = spec.with_updates(store=args.store)
         if args.async_mode is not None:
             spec = spec.with_updates(async_mode=args.async_mode)
+        if alphabet is not None:
+            spec = spec.with_updates(alphabet=alphabet)
         result = run_experiment(spec, out_dir=args.out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -179,6 +207,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
 
     try:
+        alphabet = _parse_alphabet(args.alphabet)
         sweep = SweepSpec.from_file(args.spec)
         overrides = {}
         if args.workers is not None:
@@ -191,6 +220,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             overrides["async_mode"] = args.async_mode
         if overrides:
             sweep = dataclasses.replace(sweep, **overrides)
+        if alphabet is not None:
+            from repro.api.spec import MERGE_AXIS_PREFIX
+
+            axis_sets_alphabet = any(
+                key == "alphabet"
+                or (
+                    key.startswith(MERGE_AXIS_PREFIX)
+                    and any(
+                        isinstance(v, dict) and "alphabet" in v
+                        for v in values
+                    )
+                )
+                for key, values in sweep.axes.items()
+            )
+            if axis_sets_alphabet:
+                # An axis value would silently override the base field
+                # during expansion; refuse rather than half-apply.
+                print(
+                    "error: sweep spec already sweeps an 'alphabet' axis; "
+                    "--alphabet would be overridden — drop one of the two",
+                    file=sys.stderr,
+                )
+                return 2
+            # Applies to every expanded point, like --workers / --cache.
+            sweep = dataclasses.replace(
+                sweep, base=sweep.base.with_updates(alphabet=alphabet)
+            )
         result = run_sweep(
             sweep,
             out_dir=args.out,
@@ -387,6 +443,7 @@ def _cmd_plugins(args: argparse.Namespace) -> int:
 
     for title, reg in (
         ("schemes", registry.SCHEMES),
+        ("primitives", registry.PRIMITIVES),
         ("attacks", registry.ATTACKS),
         ("predictors", registry.PREDICTORS),
         ("engines", registry.ENGINES),
@@ -399,6 +456,17 @@ def _cmd_plugins(args: argparse.Namespace) -> int:
             target = getattr(factory, "__qualname__", repr(factory))
             print(f"  {name:<22} {target}")
     return 0
+
+
+def _add_alphabet_flag(parser: argparse.ArgumentParser) -> None:
+    """``--alphabet``: the locking-primitive alphabet engines compose."""
+    parser.add_argument(
+        "--alphabet", default=None, metavar="P1,P2,...",
+        help="comma-separated locking primitives the genotype may compose "
+        "(see `autolock plugins`; default mux — the paper's pure D-MUX "
+        "search space). The resolved alphabet feeds the experiment "
+        "fingerprint; the default leaves fingerprints unchanged.",
+    )
 
 
 def _add_loop_mode_flags(parser: argparse.ArgumentParser) -> None:
@@ -482,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
         "on repeated runs (delete the file to start fresh)",
     )
     p_evolve.add_argument("--output", default=None)
+    _add_alphabet_flag(p_evolve)
     _add_loop_mode_flags(p_evolve)
     p_evolve.set_defaults(func=_cmd_evolve)
 
@@ -500,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="store backend for the cache path (default: inferred from "
         "the path suffix)",
     )
+    _add_alphabet_flag(p_run)
     _add_loop_mode_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -530,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
         "rescheduled — finished experiment records replay from the store "
         "either way, with zero fresh attack evaluations",
     )
+    _add_alphabet_flag(p_sweep)
     _add_loop_mode_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 

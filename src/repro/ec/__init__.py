@@ -16,7 +16,12 @@ and standard evolutionary operators search the locking-design space.
 * :mod:`repro.ec.autolock` — the end-to-end pipeline of Fig. 1
 """
 
-from repro.ec.genotype import random_genotype, repair_genotype, genotype_key
+from repro.ec.genotype import (
+    genotype_key,
+    genotype_kinds,
+    random_genotype,
+    repair_genotype,
+)
 from repro.ec.operators import (
     CROSSOVERS,
     MUTATIONS,
@@ -69,6 +74,7 @@ __all__ = [
     "random_genotype",
     "repair_genotype",
     "genotype_key",
+    "genotype_kinds",
     "MutationConfig",
     "mutate",
     "crossover_one_point",

@@ -37,12 +37,12 @@ from repro.ec.genotype import random_genotype, repair_genotype
 from repro.ec.loop import LoopPolicy, LoopState, SearchLoop, resolve_async
 from repro.ec.operators import MutationConfig, mutate
 from repro.errors import EvolutionError
-from repro.locking.dmux import MuxGene
+from repro.locking.primitives import DEFAULT_ALPHABET, resolve_alphabet
 from repro.netlist.netlist import Netlist
 from repro.utils.rng import derive_rng
 
-Genotype = list[MuxGene]
-Fitness = Callable[[Sequence[MuxGene]], float]
+Genotype = list  # heterogeneous primitive genes (repro.locking.primitives)
+Fitness = Callable[[Sequence], float]
 
 
 @dataclass
@@ -211,11 +211,13 @@ class RandomSearch(_TrajectorySearch):
         evaluations: int = 100,
         seed: int = 0,
         async_mode: bool | None = None,
+        alphabet: tuple[str, ...] = DEFAULT_ALPHABET,
     ):
         self.key_length = key_length
         self.evaluations = _validated_budget(evaluations)
         self.seed = seed
         self.async_mode = async_mode
+        self.alphabet = resolve_alphabet(alphabet)
 
     def _policy(self, original: Netlist) -> TrajectoryPolicy:
         return _RandomSearchPolicy(self, original)
@@ -231,7 +233,10 @@ class _RandomSearchPolicy(TrajectoryPolicy):
         return self.max_evaluations
 
     def propose(self, current, rng) -> Genotype:
-        return random_genotype(self.original, self.searcher.key_length, rng)
+        return random_genotype(
+            self.original, self.searcher.key_length, rng,
+            alphabet=self.searcher.alphabet,
+        )
 
     def challenge(self, current_fit, candidate_fit, rng) -> bool:
         return candidate_fit < current_fit
@@ -249,12 +254,14 @@ class HillClimber(_TrajectorySearch):
         mutation: MutationConfig | None = None,
         seed: int = 0,
         async_mode: bool | None = None,
+        alphabet: tuple[str, ...] = DEFAULT_ALPHABET,
     ):
         self.key_length = key_length
         self.evaluations = _validated_budget(evaluations)
         self.mutation = mutation or MutationConfig(0.1, 0.15, 0.15)
         self.seed = seed
         self.async_mode = async_mode
+        self.alphabet = resolve_alphabet(alphabet)
 
     def _policy(self, original: Netlist) -> TrajectoryPolicy:
         return _HillClimberPolicy(self, original)
@@ -269,10 +276,16 @@ class _HillClimberPolicy(TrajectoryPolicy):
 
     def propose(self, current, rng) -> Genotype:
         if current is None:
-            return random_genotype(self.original, self.searcher.key_length, rng)
+            return random_genotype(
+                self.original, self.searcher.key_length, rng,
+                alphabet=self.searcher.alphabet,
+            )
         return repair_genotype(
             self.original,
-            mutate(self.original, current, self.searcher.mutation, rng),
+            mutate(
+                self.original, current, self.searcher.mutation, rng,
+                alphabet=self.searcher.alphabet,
+            ),
             rng,
         )
 
@@ -299,6 +312,7 @@ class SimulatedAnnealing(_TrajectorySearch):
         mutation: MutationConfig | None = None,
         seed: int = 0,
         async_mode: bool | None = None,
+        alphabet: tuple[str, ...] = DEFAULT_ALPHABET,
     ):
         if t_start <= 0 or t_end <= 0 or t_end > t_start:
             raise EvolutionError(
@@ -311,6 +325,7 @@ class SimulatedAnnealing(_TrajectorySearch):
         self.mutation = mutation or MutationConfig(0.1, 0.15, 0.15)
         self.seed = seed
         self.async_mode = async_mode
+        self.alphabet = resolve_alphabet(alphabet)
 
     def _policy(self, original: Netlist) -> TrajectoryPolicy:
         return _AnnealingPolicy(self, original)
@@ -332,10 +347,16 @@ class _AnnealingPolicy(TrajectoryPolicy):
 
     def propose(self, current, rng) -> Genotype:
         if current is None:
-            return random_genotype(self.original, self.searcher.key_length, rng)
+            return random_genotype(
+                self.original, self.searcher.key_length, rng,
+                alphabet=self.searcher.alphabet,
+            )
         return repair_genotype(
             self.original,
-            mutate(self.original, current, self.searcher.mutation, rng),
+            mutate(
+                self.original, current, self.searcher.mutation, rng,
+                alphabet=self.searcher.alphabet,
+            ),
             rng,
         )
 

@@ -24,12 +24,19 @@ from pathlib import Path
 import numpy as np
 
 from repro.attacks.muxlink.attack import MuxLinkAttack
+from repro.attacks.scope import ScopeAttack
 from repro.ec.evaluator import AsyncEvaluator, Evaluator, SerialEvaluator
-from repro.ec.fitness import FitnessCache, MuxLinkFitness, cache_namespace
+from repro.ec.fitness import (
+    FitnessCache,
+    MuxLinkFitness,
+    cache_namespace,
+    resilience_accuracy,
+)
 from repro.ec.ga import GaConfig, GaResult, GeneticAlgorithm
 from repro.ec.genotype import genotype_key, random_genotype
 from repro.locking.base import LockedCircuit
 from repro.locking.genome_lock import lock_with_genes
+from repro.locking.primitives import DEFAULT_ALPHABET, resolve_alphabet
 from repro.netlist.netlist import Netlist
 from repro.utils.rng import derive_rng, spawn_seeds
 
@@ -72,6 +79,13 @@ class AutoLockConfig:
     cache_path: str | Path | None = None
     #: store backend for ``cache_path`` (None = infer from suffix).
     store: str | None = None
+    #: locking-primitive alphabet the genotype composes (see
+    #: ``repro.registry.PRIMITIVES``); the default reproduces the paper's
+    #: pure D-MUX search space bit-for-bit.
+    alphabet: tuple[str, ...] = DEFAULT_ALPHABET
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alphabet", resolve_alphabet(self.alphabet))
 
     def resolved_async_mode(self) -> bool:
         """The loop mode this config runs: explicit, else workers-derived."""
@@ -93,6 +107,7 @@ class AutoLockConfig:
                 self.resolved_async_mode() if async_mode is None else async_mode
             ),
             async_backlog=self.async_backlog,
+            alphabet=self.alphabet,
         )
 
 
@@ -149,7 +164,7 @@ class AutoLock:
 
         # Step 1 (Fig. 1 x/z): N random lockings as the initial population.
         initial = [
-            random_genotype(original, cfg.key_length, seed)
+            random_genotype(original, cfg.key_length, seed, alphabet=cfg.alphabet)
             for seed in spawn_seeds(derive_rng(seeds[0]), cfg.population_size)
         ]
 
@@ -214,6 +229,7 @@ class AutoLock:
         report_attack = MuxLinkAttack(
             predictor=cfg.report_predictor, ensemble=cfg.report_ensemble
         )
+        report_scope = ScopeAttack()
         report_evaluations = 0
 
         def report_accuracy(genes) -> float:
@@ -222,10 +238,10 @@ class AutoLock:
             cached = report_cache.get(key)
             if cached is not None:
                 return float(cached)
-            acc = float(
-                report_attack.run(
-                    lock_with_genes(original, genes), seed_or_rng=seeds[2]
-                ).accuracy
+            locked_genes = lock_with_genes(original, genes)
+            report = report_attack.run(locked_genes, seed_or_rng=seeds[2])
+            acc = resilience_accuracy(
+                locked_genes, genes, report, report_scope, seeds[2]
             )
             report_evaluations += 1
             report_cache.put(key, acc)

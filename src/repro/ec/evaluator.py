@@ -49,10 +49,9 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.ec.genotype import genotype_key
-from repro.locking.dmux import MuxGene
 
-Genotype = list[MuxGene]
-Fitness = Callable[[Sequence[MuxGene]], "float | tuple[float, ...]"]
+Genotype = list  # heterogeneous primitive genes (repro.locking.primitives)
+Fitness = Callable[[Sequence], "float | tuple[float, ...]"]
 
 
 def supports_async(evaluator: object) -> bool:

@@ -5,6 +5,16 @@ more resilient locking, i.e. higher evolutionary fitness. We keep the
 *minimisation* convention throughout (`fitness value = attack accuracy`,
 smaller is better), which reads naturally in convergence plots.
 
+Heterogeneous genotypes are scored per primitive kind: key bits of
+``"link"``-scored genes (MUX pairs) come from the configured attack's
+link prediction, while key bits of ``"scope"``-scored genes (XOR/XNOR
+and AND/OR key gates, which link prediction cannot see) come from the
+oracle-less constant-propagation heuristic that cracks RLL in E4/E5.
+Both guess sets aggregate into one key-prediction accuracy — a single
+resilience score the engines minimise. Pure-MUX genotypes take the
+historical single-attack path untouched, so cached values and golden
+trajectories are unchanged.
+
 Evaluations are deterministic per genotype (fixed attack seed) and cached
 by canonical genotype key, since crossover routinely recreates previously
 seen individuals. The cache is thread-safe (population evaluators merge
@@ -24,9 +34,11 @@ from typing import Protocol, Sequence
 from repro.attacks.muxlink.attack import MuxLinkAttack
 from repro.attacks.scope import ScopeAttack
 from repro.ec.genotype import genotype_key
-from repro.locking.dmux import MuxGene
+from repro.locking.base import LockedCircuit
 from repro.locking.genome_lock import lock_with_genes
+from repro.locking.primitives import Gene, primitive_for_gene
 from repro.metrics.overhead import area_estimate
+from repro.metrics.security import score_guesses
 from repro.netlist.netlist import Netlist
 from repro.registry import create_attack
 
@@ -39,8 +51,84 @@ DEFAULT_ATTACK_SEED = 0xA070
 class FitnessFunction(Protocol):
     """Maps a genotype to a scalar (minimised) or vector (NSGA-II)."""
 
-    def __call__(self, genes: Sequence[MuxGene]) -> float | tuple[float, ...]:
+    def __call__(self, genes: Sequence[Gene]) -> float | tuple[float, ...]:
         ...  # pragma: no cover - protocol
+
+
+def scope_scored_bits(genes: Sequence[Gene]) -> list[bool]:
+    """Per-gene flags: True where the owning primitive is scope-scored."""
+    return [primitive_for_gene(g).scoring == "scope" for g in genes]
+
+
+def composite_accuracy(
+    locked: LockedCircuit,
+    scope_bits: Sequence[bool],
+    link_report,
+    scope_report,
+) -> float:
+    """Aggregate per-kind key guesses into one resilience accuracy.
+
+    Key bit ``i`` (gene ``i``) takes its guess from the link-prediction
+    report when the gene is link-scored; the merged guesses are scored
+    against the true key exactly as a single attack report would be
+    (undecided = 0.5).
+
+    A scope-scored bit counts as *recovered* whenever constant
+    propagation distinguishes its two hypotheses at all — the attacker
+    calibrates the polarity of the simplification signal per key-gate
+    type offline (as SCOPE does), so a decided bit is a leaked bit
+    regardless of which direction our heuristic reports. Scoring the raw
+    direction instead would make anti-correlated gate types (AND/OR
+    masking) look *more* resilient than undecidable ones, handing the
+    search a bogus sub-0.5 score to exploit.
+    """
+    truth = dict(locked.key)
+    guesses: dict[str, int | None] = {}
+    for name, from_scope in zip(locked.key.names, scope_bits):
+        if from_scope:
+            decided = scope_report.guesses.get(name) is not None
+            guesses[name] = truth[name] if decided else None
+        else:
+            guesses[name] = link_report.guesses.get(name)
+    return float(score_guesses(guesses, truth).accuracy)
+
+
+def resilience_accuracy(
+    locked: LockedCircuit,
+    genes: Sequence[Gene],
+    link_report,
+    scope_attack: ScopeAttack,
+    attack_seed,
+    scope_report=None,
+) -> float:
+    """The one aggregation rule every scorer shares.
+
+    Pure link-scored genotypes return the link report's accuracy
+    untouched (bit-for-bit the historical value — no scope run); mixed
+    genotypes additionally run ``scope_attack`` and merge per-kind via
+    :func:`composite_accuracy`. Fitness oracles and the AutoLock report
+    stage both call this, so the reported accuracy can never diverge
+    from what the engine optimised. A caller that already ran the scope
+    attack (e.g. for a ``scope`` objective) passes its ``scope_report``
+    to avoid propagating constants twice.
+    """
+    scope_bits = scope_scored_bits(genes)
+    if not any(scope_bits):
+        return float(link_report.accuracy)
+    if scope_report is None:
+        scope_report = scope_attack.run(
+            locked,
+            seed_or_rng=attack_seed,
+            # Propagate constants only for the scope-scored bits;
+            # link-scored bits never read the scope report, so paying
+            # for them is waste.
+            key_names=[
+                name
+                for name, from_scope in zip(locked.key.names, scope_bits)
+                if from_scope
+            ],
+        )
+    return composite_accuracy(locked, scope_bits, link_report, scope_report)
 
 
 def cache_namespace(circuit_name: str, **attack_config) -> str:
@@ -208,9 +296,14 @@ class SpecFitness:
 
     The attack is resolved through the attack registry, so *any*
     registered attack whose report exposes ``accuracy`` can drive the
-    evolutionary loop. Deterministic per genotype (fixed ``attack_seed``)
-    and cache-fronted; plain attributes keep it picklable for the
-    :class:`~repro.ec.evaluator.ProcessPoolEvaluator` worker path.
+    evolutionary loop. Heterogeneous genotypes additionally score their
+    scope-scored genes with the oracle-less constant-propagation
+    heuristic and aggregate both into one accuracy (see the module
+    docstring); pure link-scored genotypes keep the historical
+    single-attack value bit-for-bit. Deterministic per genotype (fixed
+    ``attack_seed``) and cache-fronted; plain attributes keep it
+    picklable for the :class:`~repro.ec.evaluator.ProcessPoolEvaluator`
+    worker path.
     """
 
     def __init__(
@@ -227,17 +320,20 @@ class SpecFitness:
         self.attack_seed = attack_seed
         self.cache = cache if cache is not None else FitnessCache()
         self._attack = create_attack(attack, **self.attack_params)
+        self._scope = ScopeAttack()
         self.evaluations = 0
 
-    def __call__(self, genes: Sequence[MuxGene]) -> float:
+    def __call__(self, genes: Sequence[Gene]) -> float:
         key = genotype_key(genes)
         cached = self.cache.get(key)
         if cached is not None:
             return float(cached)
         locked = lock_with_genes(self.original, list(genes))
         report = self._attack.run(locked, seed_or_rng=self.attack_seed)
+        value = resilience_accuracy(
+            locked, genes, report, self._scope, self.attack_seed
+        )
         self.evaluations += 1
-        value = float(report.accuracy)
         self.cache.put(key, value)
         return value
 
@@ -363,16 +459,27 @@ class MultiObjectiveFitness:
             )
         return total / self.corruption_keys
 
-    def __call__(self, genes: Sequence[MuxGene]) -> tuple[float, ...]:
+    def __call__(self, genes: Sequence[Gene]) -> tuple[float, ...]:
         key = genotype_key(genes)
         cached = self.cache.get(key)
         if cached is not None:
             return tuple(cached)
         locked = lock_with_genes(self.original, list(genes))
         values: dict[str, float] = {}
+        # A full scope report serves both the "scope" objective and the
+        # mixed-genotype aggregation in "muxlink" — never propagate
+        # constants twice for one evaluation.
+        scope_report = (
+            self._scope.run(locked, seed_or_rng=self.attack_seed)
+            if "scope" in self.objectives
+            else None
+        )
         if "muxlink" in self.objectives:
             report = self._attack.run(locked, seed_or_rng=self.attack_seed)
-            values["muxlink"] = float(report.accuracy)
+            values["muxlink"] = resilience_accuracy(
+                locked, genes, report, self._scope, self.attack_seed,
+                scope_report=scope_report,
+            )
         if "depth" in self.objectives:
             values["depth"] = (
                 locked.netlist.depth() - self._base_depth
@@ -383,9 +490,8 @@ class MultiObjectiveFitness:
             values["area"] = (
                 area_estimate(locked.netlist) - self._base_area
             ) / self._base_area
-        if "scope" in self.objectives:
-            scope = self._scope.run(locked, seed_or_rng=self.attack_seed)
-            values["scope"] = float(scope.score.coverage)
+        if scope_report is not None:
+            values["scope"] = float(scope_report.score.coverage)
         self.evaluations += 1
         result = tuple(values[name] for name in self.objectives)
         self.cache.put(key, result)

@@ -1,6 +1,7 @@
 """Single-objective GA: a policy bundle over :mod:`repro.ec.loop`.
 
-The engine is scheme-agnostic: it evolves lists of MuxGenes against any
+The engine is scheme-agnostic: it evolves heterogeneous lists of
+primitive genes (the configured alphabet) against any
 scalar fitness (minimised). Configuration selects the operator variants
 registered in :mod:`repro.ec.operators`, which is what the ablation
 experiment (E7) sweeps.
@@ -45,11 +46,11 @@ from repro.ec.operators import (
     MutationConfig,
 )
 from repro.errors import EvolutionError
-from repro.locking.dmux import MuxGene
+from repro.locking.primitives import DEFAULT_ALPHABET, resolve_alphabet
 from repro.netlist.netlist import Netlist
 from repro.utils.rng import derive_rng
 
-Genotype = list[MuxGene]
+Genotype = list  # heterogeneous primitive genes (repro.locking.primitives)
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,10 @@ class GaConfig:
     future-capable. ``async_backlog`` bounds in-flight evaluations in
     steady-state mode (default: ``population_size``); raising it trades
     parent freshness for saturation under strongly skewed attack costs.
+
+    ``alphabet`` names the locking primitives the genotype may compose
+    (``repro.registry.PRIMITIVES``); the default ``("mux",)`` reproduces
+    the paper's pure D-MUX search space bit-for-bit.
     """
 
     key_length: int = 32
@@ -78,8 +83,10 @@ class GaConfig:
     seed: int = 0
     async_mode: bool | None = None
     async_backlog: int | None = None
+    alphabet: tuple[str, ...] = DEFAULT_ALPHABET
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "alphabet", resolve_alphabet(self.alphabet))
         if self.population_size < 2:
             raise EvolutionError("population_size must be >= 2")
         if self.elitism >= self.population_size:
@@ -177,7 +184,7 @@ class GaPolicy(LoopPolicy):
         self.selection = OperatorSelection(cfg.selection, cfg.tournament_size)
         self.variation = CrossoverMutation(
             original, CROSSOVERS[cfg.crossover], cfg.crossover_rate,
-            cfg.mutation_config,
+            cfg.mutation_config, alphabet=cfg.alphabet,
         )
         self.survival = ElitistGenerational(cfg.elitism, cfg.population_size)
         self.generations = cfg.generations
@@ -217,7 +224,11 @@ class GaPolicy(LoopPolicy):
                     )
                 population.append(repair_genotype(self.original, genes, rng))
         while len(population) < cfg.population_size:
-            population.append(random_genotype(self.original, cfg.key_length, rng))
+            population.append(
+                random_genotype(
+                    self.original, cfg.key_length, rng, alphabet=cfg.alphabet
+                )
+            )
         return population
 
     def coerce(self, value) -> float:
@@ -325,7 +336,7 @@ class GeneticAlgorithm:
     def run(
         self,
         original: Netlist,
-        fitness: Callable[[Sequence[MuxGene]], float],
+        fitness: Callable[[Sequence], float],
         initial_population: list[Genotype] | None = None,
         evaluator: Evaluator | None = None,
     ) -> GaResult:

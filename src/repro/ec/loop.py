@@ -59,10 +59,9 @@ from repro.ec.evaluator import (
 from repro.ec.genotype import genotype_key, repair_genotype
 from repro.ec.operators import SELECTIONS, MutationConfig, mutate
 from repro.errors import EvolutionError
-from repro.locking.dmux import MuxGene
 from repro.netlist.netlist import Netlist
 
-Genotype = list[MuxGene]
+Genotype = list  # heterogeneous primitive genes (repro.locking.primitives)
 
 
 # ---------------------------------------------------------------------------
@@ -141,13 +140,16 @@ class CrossoverMutation:
     ``pair`` draws one uniform variate against ``crossover_rate`` and
     either recombines or clones the parents; ``finish`` mutates against
     the original netlist and repairs collisions — the exact operator
-    order of the legacy GA/NSGA-II breeding loops.
+    order of the legacy GA/NSGA-II breeding loops. ``alphabet`` feeds
+    the kind-aware mutation (a single-kind alphabet draws no extra RNG,
+    keeping the golden trajectories intact).
     """
 
     original: Netlist
     crossover: object  # Callable[(a, b, rng)] -> (child_a, child_b)
     crossover_rate: float
     mutation: MutationConfig
+    alphabet: tuple[str, ...] | None = None
 
     def pair(self, pa, pb, rng):
         if rng.random() < self.crossover_rate:
@@ -155,7 +157,9 @@ class CrossoverMutation:
         return list(pa), list(pb)
 
     def finish(self, child, rng):
-        child = mutate(self.original, child, self.mutation, rng)
+        child = mutate(
+            self.original, child, self.mutation, rng, alphabet=self.alphabet
+        )
         return repair_genotype(self.original, child, rng)
 
 

@@ -29,11 +29,11 @@ from repro.ec.loop import (
 )
 from repro.ec.operators import CROSSOVERS, MUTATIONS, MutationConfig
 from repro.errors import EvolutionError
-from repro.locking.dmux import MuxGene
+from repro.locking.primitives import DEFAULT_ALPHABET, resolve_alphabet
 from repro.netlist.netlist import Netlist
 from repro.utils.rng import derive_rng
 
-Genotype = list[MuxGene]
+Genotype = list  # heterogeneous primitive genes (repro.locking.primitives)
 Objectives = tuple[float, ...]
 
 
@@ -171,8 +171,11 @@ class Nsga2Config:
     seed: int = 0
     async_mode: bool | None = None
     async_backlog: int | None = None
+    #: locking-primitive alphabet (see ``repro.registry.PRIMITIVES``).
+    alphabet: tuple[str, ...] = DEFAULT_ALPHABET
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "alphabet", resolve_alphabet(self.alphabet))
         if self.population_size < 4:
             raise EvolutionError("population_size must be >= 4 for NSGA-II")
         if self.crossover not in CROSSOVERS:
@@ -210,7 +213,7 @@ class Nsga2Policy(LoopPolicy):
         self.selection = ParetoBinaryTournament()
         self.variation = CrossoverMutation(
             original, CROSSOVERS[cfg.crossover], cfg.crossover_rate,
-            cfg.mutation_config,
+            cfg.mutation_config, alphabet=cfg.alphabet,
         )
         self.survival = ParetoEnvironmental(cfg.population_size)
         self.generations = cfg.generations
@@ -235,7 +238,9 @@ class Nsga2Policy(LoopPolicy):
     def initialize(self, rng) -> list[Genotype]:
         cfg = self.config
         return [
-            random_genotype(self.original, cfg.key_length, rng)
+            random_genotype(
+                self.original, cfg.key_length, rng, alphabet=cfg.alphabet
+            )
             for _ in range(cfg.population_size)
         ]
 
@@ -325,7 +330,7 @@ class Nsga2:
     def run(
         self,
         original: Netlist,
-        fitness: Callable[[Sequence[MuxGene]], Objectives],
+        fitness: Callable[[Sequence], Objectives],
         evaluator: Evaluator | None = None,
     ) -> Nsga2Result:
         """Evolve a Pareto front of lockings of ``original``.

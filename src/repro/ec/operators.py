@@ -1,10 +1,18 @@
 """Evolutionary operators: selection, crossover, mutation.
 
-All operators are pure functions over genotypes (lists of
-:class:`~repro.locking.dmux.MuxGene`) plus an RNG; repair happens after
-mutation, in the engine. The registries ``SELECTIONS`` / ``CROSSOVERS`` /
-``MUTATIONS`` drive the operator-ablation experiment (E7), which is the
-paper's research-plan question "design of problem-specific operators".
+All operators are pure functions over genotypes (heterogeneous lists of
+primitive genes, see :mod:`repro.locking.primitives`) plus an RNG;
+repair happens after mutation, in the engine. The registries
+``SELECTIONS`` / ``CROSSOVERS`` / ``MUTATIONS`` drive the
+operator-ablation experiment (E7), which is the paper's research-plan
+question "design of problem-specific operators".
+
+Crossover is deliberately kind-agnostic: genes are self-contained and
+tagged, so positional exchange freely recombines primitive mixes.
+Mutation is kind-aware — relocation and neighbourhood moves dispatch
+through each gene's owning primitive, and an optional ``alphabet`` lets
+relocation draw a fresh kind (single-kind alphabets draw no kind
+variate, preserving the historical RNG stream).
 """
 
 from __future__ import annotations
@@ -15,11 +23,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import EvolutionError
-from repro.locking.dmux import MuxGene, sample_gene
+from repro.locking.primitives import Genotype, get_primitive, primitive_for_gene
 from repro.netlist.netlist import Netlist
 from repro.utils.rng import derive_rng
-
-Genotype = list[MuxGene]
 
 
 # ----------------------------------------------------------------------
@@ -144,25 +150,36 @@ def mutate(
     genes: Genotype,
     config: MutationConfig,
     seed_or_rng=None,
+    alphabet: Sequence[str] | None = None,
 ) -> Genotype:
     """Apply per-gene mutations; the result may need repair.
 
     Relocation/rerouting sample sites against the *original* netlist and
     may collide with other genes; the engine runs
     :func:`repro.ec.genotype.repair_genotype` afterwards.
+
+    Relocation replaces the gene within its own primitive kind unless a
+    multi-kind ``alphabet`` is given, in which case the new kind is drawn
+    uniformly from it; the neighbourhood move (``reroute_partner``) is
+    always the gene's own primitive's local move.
     """
     rng = derive_rng(seed_or_rng)
     mutated: Genotype = []
     used = {w for g in genes for w in g.wires}
+    kinds = tuple(alphabet) if alphabet is not None else ()
     for gene in genes:
+        primitive = primitive_for_gene(gene)
         if rng.random() < config.relocate:
-            fresh = sample_gene(original, rng, used_pins=used)
+            target = primitive
+            if len(kinds) > 1:
+                target = get_primitive(kinds[int(rng.integers(0, len(kinds)))])
+            fresh = target.sample(original, rng, used_pins=used)
             if fresh is not None:
                 used.update(fresh.wires)
                 mutated.append(fresh)
                 continue
         if rng.random() < config.reroute_partner:
-            rerouted = _reroute_partner(original, gene, used, rng)
+            rerouted = primitive.neighbor(original, gene, used, rng)
             if rerouted is not None:
                 used.update(rerouted.wires)
                 mutated.append(rerouted)
@@ -171,27 +188,6 @@ def mutate(
             gene = gene.with_key(gene.k ^ 1)
         mutated.append(gene)
     return mutated
-
-
-def _reroute_partner(
-    original: Netlist,
-    gene: MuxGene,
-    used: set[tuple[str, str]],
-    rng,
-    max_tries: int = 60,
-) -> MuxGene | None:
-    """Swap the decoy wire ``(f_j, g_j)`` for a fresh one."""
-    from repro.locking.dmux import gene_applicable, lockable_wires
-
-    wires = [w for w in lockable_wires(original) if w not in used]
-    if not wires:
-        return None
-    for _ in range(max_tries):
-        f_j, g_j = wires[int(rng.integers(0, len(wires)))]
-        candidate = MuxGene(gene.f_i, gene.g_i, f_j, g_j, int(rng.integers(0, 2)))
-        if gene_applicable(original, candidate):
-            return candidate
-    return None
 
 
 #: registries for the operator-ablation experiment (E7)

@@ -16,6 +16,7 @@ from repro.errors import LockingError
 from repro.locking.base import LockedCircuit
 from repro.locking.dmux import MuxPairInsertion
 from repro.locking.key import Key
+from repro.locking.primitives import KeyGateInsertion
 from repro.locking.rll import XorInsertion
 from repro.netlist.bench import parse_bench_file, write_bench_file
 from repro.netlist.netlist import Netlist
@@ -23,12 +24,15 @@ from repro.netlist.netlist import Netlist
 _INSERTION_TYPES = {
     "mux_pair": MuxPairInsertion,
     "xor": XorInsertion,
+    "keygate": KeyGateInsertion,
 }
 
 
 def _insertion_tag(record) -> str:
     for tag, cls in _INSERTION_TYPES.items():
-        if isinstance(record, cls):
+        # Exact-type match: KeyGateInsertion carries its own primitive
+        # ``kind`` field, XorInsertion is the RLL net-cut record.
+        if type(record) is cls:
             return tag
     raise LockingError(f"cannot serialise insertion record {type(record).__name__}")
 

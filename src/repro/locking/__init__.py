@@ -1,4 +1,4 @@
-"""Logic-locking schemes and the locked-circuit container.
+"""Logic-locking schemes, primitives, and the locked-circuit container.
 
 Two scheme families are provided:
 
@@ -7,9 +7,12 @@ Two scheme families are provided:
 * :class:`~repro.locking.dmux.DMuxLocking` — deceptive pairwise MUX
   locking after Sisejkovic et al. (D-MUX), the scheme AutoLock evolves.
 
-:mod:`repro.locking.genome_lock` turns an AutoLock genotype (a list of
-:class:`~repro.locking.dmux.MuxGene`) into a locked netlist — the
-genotype→phenotype mapping of the paper.
+:mod:`repro.locking.primitives` defines the composable locking-primitive
+API (the ``PRIMITIVES`` registry): MUX pairs, wire-level XOR/XNOR key
+gates and AND/OR masking gates as interchangeable genotype building
+blocks. :mod:`repro.locking.genome_lock` turns a (possibly
+heterogeneous) genotype into a locked netlist — the genotype→phenotype
+mapping of the paper — and decodes it back.
 """
 
 from repro.locking.key import Key
@@ -23,7 +26,19 @@ from repro.locking.dmux import (
     gene_applicable,
     sample_gene,
 )
-from repro.locking.genome_lock import lock_with_genes
+from repro.locking.primitives import (
+    DEFAULT_ALPHABET,
+    AndOrGene,
+    KeyGateInsertion,
+    LockPrimitive,
+    XorGene,
+    genotype_overhead,
+    get_primitive,
+    primitive_for_gene,
+    primitive_for_insertion,
+    resolve_alphabet,
+)
+from repro.locking.genome_lock import genes_from_locked, lock_with_genes
 
 __all__ = [
     "Key",
@@ -37,5 +52,16 @@ __all__ = [
     "sample_gene",
     "apply_gene",
     "gene_applicable",
+    "DEFAULT_ALPHABET",
+    "LockPrimitive",
+    "XorGene",
+    "AndOrGene",
+    "KeyGateInsertion",
+    "get_primitive",
+    "primitive_for_gene",
+    "primitive_for_insertion",
+    "resolve_alphabet",
+    "genotype_overhead",
     "lock_with_genes",
+    "genes_from_locked",
 ]

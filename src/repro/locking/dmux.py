@@ -33,6 +33,7 @@ nor ``g_j ⇝ f_i`` holds in the current netlist (see DESIGN.md §5).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.errors import LockingError
 from repro.locking.base import LockedCircuit, LockingScheme
@@ -46,6 +47,9 @@ from repro.utils.rng import derive_rng
 @dataclass(frozen=True)
 class MuxGene:
     """One locking location: the paper's genotype element {f_i,f_j,g_i,g_j,k}."""
+
+    #: primitive tag (see :mod:`repro.locking.primitives`)
+    kind: ClassVar[str] = "mux"
 
     f_i: str
     g_i: str
@@ -65,6 +69,11 @@ class MuxGene:
     def wires(self) -> tuple[tuple[str, str], tuple[str, str]]:
         """The two true wires ``(f_i, g_i)`` and ``(f_j, g_j)``."""
         return ((self.f_i, self.g_i), (self.f_j, self.g_j))
+
+    def key_tuple(self) -> tuple:
+        """Canonical hashable identity; untagged for historical cache
+        compatibility (the other primitives' tuples are kind-tagged)."""
+        return (self.f_i, self.g_i, self.f_j, self.g_j, self.k)
 
 
 @dataclass(frozen=True)
@@ -247,24 +256,36 @@ def apply_gene(
 # Site sampling
 # ----------------------------------------------------------------------
 def lockable_wires(netlist: Netlist) -> list[tuple[str, str]]:
-    """All wires ``(driver, consumer_gate)`` eligible for MUX locking.
+    """All wires ``(driver, consumer_gate)`` eligible for locking.
 
-    Excludes wires into MUX key-gates, wires driven by MUX key-gates or
-    key inputs, and constant drivers — mirroring D-MUX's used-wire rules.
+    Excludes wires into or out of key gates — MUX key-gates, and any
+    gate with a key-input fanin (the XOR/XNOR and AND/OR key gates of
+    the other primitives) — plus key-input and constant drivers,
+    mirroring D-MUX's used-wire rules. Keeping key-gate outputs out of
+    the pool also guarantees every sampled gene references only signals
+    of the *original* design, so a genotype sampled against a working
+    copy (whose inserted gates carry temporary names) rebuilds
+    identically through :func:`~repro.locking.genome_lock.lock_with_genes`.
     """
     wires: list[tuple[str, str]] = []
     key_set = set(netlist.key_inputs)
+
+    def is_key_fed(gate) -> bool:
+        return any(f in key_set for f in gate.fanins)
+
     for gate in netlist.gates.values():
         if gate.gtype is GateType.MUX:
+            continue
+        if key_set and is_key_fed(gate):
             continue
         for src in gate.fanins:
             if src in key_set:
                 continue
             src_gate = netlist.gates.get(src)
-            if src_gate is not None and src_gate.gtype in (
-                GateType.MUX,
-                GateType.CONST0,
-                GateType.CONST1,
+            if src_gate is not None and (
+                src_gate.gtype
+                in (GateType.MUX, GateType.CONST0, GateType.CONST1)
+                or (key_set and is_key_fed(src_gate))
             ):
                 continue
             wires.append((src, gate.name))

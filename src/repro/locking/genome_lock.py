@@ -1,34 +1,55 @@
-"""Genotype → phenotype mapping: build a locked netlist from MuxGenes.
+"""Genotype → phenotype mapping: build a locked netlist from primitive genes.
 
 This is the encoding step of the AutoLock workflow (Fig. 1 of the paper):
-the GA manipulates lists of :class:`~repro.locking.dmux.MuxGene`, and this
-module turns such a list back into a concrete locked circuit whose key bit
-``i`` is gene ``i``'s ``k`` field.
+the GA manipulates heterogeneous lists of primitive genes (see
+:mod:`repro.locking.primitives`), and this module turns such a list back
+into a concrete locked circuit whose key bit ``i`` is gene ``i``'s ``k``
+field. The inverse, :func:`genes_from_locked`, decodes a locked
+circuit's insertion records back into genes through the same primitive
+registry, so any scheme whose records a registered primitive understands
+can seed the evolutionary search.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.errors import LockingError
 from repro.locking.base import LockedCircuit
-from repro.locking.dmux import MuxGene, MuxPairInsertion, apply_gene
 from repro.locking.key import Key
+from repro.locking.primitives import (
+    Gene,
+    primitive_for_gene,
+    primitive_for_insertion,
+)
 from repro.netlist.netlist import Netlist
+
+
+def genotype_scheme_name(genes: Sequence[Gene]) -> str:
+    """Scheme label of a genotype-built circuit.
+
+    Pure-MUX genotypes keep the historical ``"dmux-genotype"`` label;
+    mixed genotypes name their primitive kinds in order of first
+    appearance (``"genotype-mux+xor"``).
+    """
+    kinds = list(dict.fromkeys(g.kind for g in genes))
+    if kinds == ["mux"]:
+        return "dmux-genotype"
+    return "genotype-" + "+".join(kinds)
 
 
 def lock_with_genes(
     original: Netlist,
-    genes: Sequence[MuxGene],
+    genes: Sequence[Gene],
     key_prefix: str = "keyinput",
 ) -> LockedCircuit:
     """Apply ``genes`` in order to a copy of ``original``.
 
-    Gene ``i`` is wired to key input ``{key_prefix}{i}`` (shared-key
-    D-MUX, one key bit per gene — the paper's encoding). Raises
-    :class:`~repro.errors.LockingError` if any gene is inapplicable;
-    the evolutionary operators are expected to repair genotypes *before*
-    building phenotypes.
+    Gene ``i`` is wired to key input ``{key_prefix}{i}`` (one key bit per
+    gene — the paper's encoding, whatever the gene's primitive kind).
+    Raises :class:`~repro.errors.LockingError` if any gene is
+    inapplicable; the evolutionary operators are expected to repair
+    genotypes *before* building phenotypes.
     """
     if not genes:
         raise LockingError("genotype must contain at least one gene")
@@ -43,10 +64,14 @@ def lock_with_genes(
             seen_wires.add(wire)
 
     locked = original.copy(f"{original.name}_auto{len(genes)}")
-    insertions: list[MuxPairInsertion] = []
+    insertions: list[Any] = []
     for idx, gene in enumerate(genes):
         try:
-            insertions.append(apply_gene(locked, gene, f"{key_prefix}{idx}"))
+            insertions.append(
+                primitive_for_gene(gene).apply_gene(
+                    locked, gene, f"{key_prefix}{idx}"
+                )
+            )
         except LockingError as exc:
             raise LockingError(f"gene {idx} inapplicable: {exc}") from exc
 
@@ -57,26 +82,33 @@ def lock_with_genes(
     return LockedCircuit(
         netlist=locked,
         key=key,
-        scheme="dmux-genotype",
+        scheme=genotype_scheme_name(genes),
         original=original,
         insertions=insertions,
     )
 
 
-def genes_from_locked(locked: LockedCircuit) -> list[MuxGene]:
-    """Recover the genotype of a D-MUX-locked circuit (encoding step).
+def genes_from_locked(locked: LockedCircuit) -> list[Gene]:
+    """Recover the genotype of a locked circuit (encoding step).
 
-    Only valid for shared-key insertions (one key bit per pair), i.e.
-    circuits produced by ``DMuxLocking(strategy="shared")`` or
-    :func:`lock_with_genes`.
+    Each insertion record is decoded by the registered primitive that
+    understands it; any record no primitive can decode — or that carries
+    no single-key-bit gene (e.g. a ``two_key`` D-MUX pair, a multi-
+    consumer RLL net cut) — raises a :class:`LockingError` naming the
+    insertion index and the circuit's scheme.
     """
-    genes: list[MuxGene] = []
-    for rec in locked.insertions:
-        if not isinstance(rec, MuxPairInsertion):
+    genes: list[Gene] = []
+    for idx, rec in enumerate(locked.insertions):
+        primitive = primitive_for_insertion(rec)
+        if primitive is None:
             raise LockingError(
-                f"cannot encode scheme {locked.scheme!r} as a MUX genotype"
+                f"insertion {idx} of scheme {locked.scheme!r}: no registered "
+                f"primitive decodes {type(rec).__name__} records"
             )
-        if rec.key_name_i != rec.key_name_j:
-            raise LockingError("two_key insertions have no single-bit genotype")
-        genes.append(MuxGene(rec.f_i, rec.g_i, rec.f_j, rec.g_j, rec.key_bit_i))
+        try:
+            genes.append(primitive.decode(rec))
+        except LockingError as exc:
+            raise LockingError(
+                f"insertion {idx} of scheme {locked.scheme!r}: {exc}"
+            ) from exc
     return genes

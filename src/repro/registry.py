@@ -136,6 +136,8 @@ class Registry:
 
 #: Locking schemes: name -> LockingScheme factory.
 SCHEMES = Registry("locking scheme", providers=("repro.locking",))
+#: Locking primitives (genotype alphabet): name -> LockPrimitive factory.
+PRIMITIVES = Registry("locking primitive", providers=("repro.locking.primitives",))
 #: Attacks: name -> Attack factory.
 ATTACKS = Registry("attack", providers=("repro.attacks",))
 #: MuxLink link predictors: name -> predictor factory.
@@ -148,6 +150,7 @@ METRICS = Registry("metric", providers=("repro.api.metrics",))
 STORES = Registry("store backend", providers=("repro.store",))
 
 register_scheme = SCHEMES.register
+register_primitive = PRIMITIVES.register
 register_attack = ATTACKS.register
 register_predictor = PREDICTORS.register
 register_engine = ENGINES.register
@@ -158,6 +161,11 @@ register_store = STORES.register
 def create_scheme(name: str, **kwargs):
     """Instantiate the locking scheme registered under ``name``."""
     return SCHEMES.create(name, **kwargs)
+
+
+def create_primitive(name: str, **kwargs):
+    """Instantiate the locking primitive registered under ``name``."""
+    return PRIMITIVES.create(name, **kwargs)
 
 
 def create_attack(name: str, **kwargs):
@@ -190,6 +198,11 @@ def available_schemes() -> list[str]:
     return SCHEMES.available()
 
 
+def available_primitives() -> list[str]:
+    """Registered locking-primitive names."""
+    return PRIMITIVES.available()
+
+
 def available_attacks() -> list[str]:
     """Registered attack names."""
     return ATTACKS.available()
@@ -213,23 +226,27 @@ def available_metrics() -> list[str]:
 __all__ = [
     "Registry",
     "SCHEMES",
+    "PRIMITIVES",
     "ATTACKS",
     "PREDICTORS",
     "ENGINES",
     "METRICS",
     "STORES",
     "register_scheme",
+    "register_primitive",
     "register_attack",
     "register_predictor",
     "register_engine",
     "register_metric",
     "register_store",
     "create_scheme",
+    "create_primitive",
     "create_attack",
     "create_predictor",
     "create_engine",
     "create_store",
     "available_schemes",
+    "available_primitives",
     "available_attacks",
     "available_predictors",
     "available_engines",

@@ -373,6 +373,7 @@ def test_cli_plugins_lists_registries(capsys):
 
     assert main(["plugins"]) == 0
     out = capsys.readouterr().out
-    for needle in ("schemes:", "attacks:", "predictors:", "engines:",
-                   "metrics:", "muxlink", "nsga2"):
+    for needle in ("schemes:", "primitives:", "attacks:", "predictors:",
+                   "engines:", "metrics:", "muxlink", "nsga2",
+                   "MuxPrimitive", "XorPrimitive", "AndOrPrimitive"):
         assert needle in out

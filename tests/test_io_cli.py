@@ -135,3 +135,103 @@ def test_cli_evolve(tmp_path, capsys):
     assert "AutoLock on rand_100_9" in out
     assert "gen   0" in out or "gen 0" in out.replace("  ", " ")
     assert list(tmp_path.glob("*.lock.json"))
+
+
+def test_cli_alphabet_unknown_primitive_exits_two(capsys):
+    """Unknown --alphabet names fail loudly, listing the registry —
+    the same contract as unknown --attack / --scheme."""
+    assert main([
+        "evolve", "rand_100_9", "--key-length", "4", "--population", "4",
+        "--generations", "1", "--predictor", "bayes",
+        "--alphabet", "mux,mystery",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "unknown locking primitive 'mystery'" in err
+    assert "mux" in err and "xor" in err and "and_or" in err
+
+
+def test_cli_alphabet_empty_exits_two(capsys):
+    assert main([
+        "evolve", "rand_100_9", "--key-length", "4", "--population", "4",
+        "--generations", "1", "--predictor", "bayes", "--alphabet", ",",
+    ]) == 2
+    assert "at least one primitive" in capsys.readouterr().err
+
+
+def test_cli_run_alphabet_override(tmp_path, capsys):
+    """--alphabet on `autolock run` overrides the spec and the record
+    names per-gene primitive kinds."""
+    import json
+
+    spec = {
+        "circuit": "rand_100_9",
+        "key_length": 6,
+        "engine": "ga",
+        "engine_params": {"population_size": 4, "generations": 2},
+        "attack": "muxlink",
+        "attack_params": {"predictor": "bayes"},
+        "seed": 5,
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    assert main([
+        "run", str(path), "--alphabet", "mux,xor",
+        "--out", str(tmp_path / "artifacts"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "alphabet=mux,xor" in out
+    record = json.loads(
+        (tmp_path / "artifacts" / "results.jsonl").read_text().splitlines()[0]
+    )
+    assert record["spec"]["alphabet"] == ["mux", "xor"]
+    kinds = {g["kind"] for g in record["engine"]["best_genotype"]}
+    assert kinds <= {"mux", "xor"} and kinds
+
+    assert main(["run", str(path), "--alphabet", "nope"]) == 2
+    assert "unknown locking primitive 'nope'" in capsys.readouterr().err
+
+
+def test_cli_sweep_alphabet_flag_conflicts_with_axis(tmp_path, capsys):
+    """--alphabet on a sweep that already sweeps an alphabet axis is
+    refused: the axis would silently override the flag."""
+    import json
+
+    sweep = {
+        "name": "clash",
+        "base": {
+            "circuit": "rand_100_9", "key_length": 4, "engine": "ga",
+            "engine_params": {"population_size": 4, "generations": 1},
+            "attack": "muxlink", "attack_params": {"predictor": "bayes"},
+            "seed": 1,
+        },
+        "axes": {"alphabet": [["mux"], ["mux", "xor"]]},
+    }
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(sweep))
+    assert main(["sweep", str(path), "--alphabet", "mux"]) == 2
+    assert "already sweeps an 'alphabet' axis" in capsys.readouterr().err
+
+
+def test_cli_sweep_alphabet_flag_conflicts_with_merge_axis(tmp_path, capsys):
+    """A merge axis whose partial specs set alphabet conflicts too."""
+    import json
+
+    sweep = {
+        "name": "clash_merge",
+        "base": {
+            "circuit": "rand_100_9", "key_length": 4, "engine": "ga",
+            "engine_params": {"population_size": 4, "generations": 1},
+            "attack": "muxlink", "attack_params": {"predictor": "bayes"},
+            "seed": 1,
+        },
+        "axes": {
+            "*variant": [
+                {"alphabet": ["mux"]},
+                {"alphabet": ["mux", "xor"]},
+            ]
+        },
+    }
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(sweep))
+    assert main(["sweep", str(path), "--alphabet", "mux"]) == 2
+    assert "already sweeps an 'alphabet' axis" in capsys.readouterr().err

@@ -62,12 +62,17 @@ def test_inapplicable_gene_rejected(rand100):
         lock_with_genes(rand100, [gene])
 
 
-def test_genes_from_locked_rejects_other_schemes(rll_locked):
-    with pytest.raises(LockingError):
+def test_genes_from_locked_rejects_multi_consumer_net_cuts(rll_locked):
+    """RLL cuts whole nets; a multi-consumer cut has no wire-level gene.
+    The error names the failing insertion index and the scheme."""
+    with pytest.raises(LockingError, match=r"insertion \d+ of scheme 'rll'"):
         genes_from_locked(rll_locked)
 
 
 def test_genes_from_locked_rejects_two_key(rand100):
     locked = DMuxLocking("two_key").lock(rand100, 4, seed_or_rng=5)
-    with pytest.raises(LockingError, match="two_key"):
+    with pytest.raises(
+        LockingError,
+        match=r"insertion 0 of scheme 'dmux-two_key'.*two_key",
+    ):
         genes_from_locked(locked)
