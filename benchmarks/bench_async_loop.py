@@ -85,7 +85,7 @@ class SkewedCostFitness:
 
 
 def _run_mode(circuit, async_mode: bool, *, population, generations, workers,
-              base_s, slow_s):
+              base_s, slow_s, backlog=None):
     config = GaConfig(
         key_length=8,
         population_size=population,
@@ -93,7 +93,7 @@ def _run_mode(circuit, async_mode: bool, *, population, generations, workers,
         mutation="key_only",
         seed=7,
         async_mode=async_mode,
-        async_backlog=_ASYNC_BACKLOG if async_mode else None,
+        async_backlog=backlog if async_mode else None,
     )
     fitness = SkewedCostFitness(base_s, slow_s, _SLOW_EVERY)
     with AsyncEvaluator(workers=workers) as evaluator:
@@ -121,10 +121,16 @@ def run_async_loop(out_json: str | None = None) -> dict:
     async_result, async_wall, async_dispatched = _run_mode(
         circuit, True, population=population, generations=generations,
         workers=_WORKERS, base_s=base_s, slow_s=slow_s,
+        backlog=_ASYNC_BACKLOG,
+    )
+    _auto_result, auto_wall, auto_dispatched = _run_mode(
+        circuit, True, population=population, generations=generations,
+        workers=_WORKERS, base_s=base_s, slow_s=slow_s, backlog="auto",
     )
 
     sync_tp = sync_dispatched / sync_wall if sync_wall > 0 else 0.0
     async_tp = async_dispatched / async_wall if async_wall > 0 else 0.0
+    auto_tp = auto_dispatched / auto_wall if auto_wall > 0 else 0.0
     report = {
         "circuit": _CIRCUIT,
         "workers": _WORKERS,
@@ -140,17 +146,33 @@ def run_async_loop(out_json: str | None = None) -> dict:
         "async_fresh_evaluations": async_dispatched,
         "sync_evals_per_s": sync_tp,
         "async_evals_per_s": async_tp,
+        "auto_wall_s": auto_wall,
+        "auto_fresh_evaluations": auto_dispatched,
+        "auto_evals_per_s": auto_tp,
         "throughput_ratio": async_tp / sync_tp if sync_tp > 0 else None,
+        "auto_throughput_ratio": auto_tp / sync_tp if sync_tp > 0 else None,
         "sync_best_fitness": sync_result.best_fitness,
         "async_best_fitness": async_result.best_fitness,
         "target_speedup": _TARGET_SPEEDUP,
         "asserted": scale >= 1.0,
+        "guarded": bool(os.environ.get("REPRO_BENCH_GUARD")),
     }
     if report["asserted"] and report["throughput_ratio"] is not None:
         assert report["throughput_ratio"] >= _TARGET_SPEEDUP, (
             f"steady-state throughput only {report['throughput_ratio']:.2f}x "
             f"sync at {_WORKERS} workers (target {_TARGET_SPEEDUP}x): {report}"
         )
+        assert report["auto_throughput_ratio"] >= _TARGET_SPEEDUP, (
+            f"auto-backlog throughput only "
+            f"{report['auto_throughput_ratio']:.2f}x sync: {report}"
+        )
+    if report["guarded"]:
+        # CI perf-regression guard (smoke scale): the steady-state and
+        # auto-tuned paths must never lose to the sync barrier loop.
+        for key in ("throughput_ratio", "auto_throughput_ratio"):
+            assert report[key] is None or report[key] >= 1.0, (
+                f"{key} regressed below sync throughput: {report}"
+            )
     if out_json:
         Path(out_json).write_text(json.dumps(report, indent=2) + "\n")
     return report

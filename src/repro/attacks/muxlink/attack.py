@@ -94,20 +94,39 @@ class MuxLinkAttack(Attack):
             if history:
                 final_losses.append(history[-1])
 
-            member_margins: dict[str, float] = {}
+            # One predictor call for every candidate link of every site:
+            # batching amortises feature extraction across the whole
+            # population of queries. Scores come back in request order,
+            # so re-accumulating below reproduces the historical
+            # per-link loop bit for bit; predictors without the batch
+            # API (third-party registrations) fall back to that loop.
+            score_links = getattr(predictor, "score_links", None)
+            flat_pairs: list[tuple[int, int]] = []
             for q in queries:
                 d0 = graph.index[q.d0]
                 d1 = graph.index[q.d1]
-                s0 = s1 = 0.0
                 for consumer in q.consumers:
                     c = graph.index[consumer]
-                    s0 += predictor.score_link(d0, c)
-                    s1 += predictor.score_link(d1, c)
+                    flat_pairs.append((d0, c))
+                    flat_pairs.append((d1, c))
+            if score_links is not None:
+                flat_scores = score_links(flat_pairs)
+            else:
+                flat_scores = [predictor.score_link(u, v) for u, v in flat_pairs]
+
+            member_margins: dict[str, float] = {}
+            cursor = 0
+            for q in queries:
+                s0 = s1 = 0.0
+                for _consumer in q.consumers:
+                    s0 += flat_scores[cursor]
+                    s1 += flat_scores[cursor + 1]
+                    cursor += 2
                     n_links += 2
-                site_scores[q.mux] = (s0, s1)
+                site_scores[q.mux] = (float(s0), float(s1))
                 # Positive margin: the d0 link looks genuine -> key bit 0.
                 member_margins[q.key_name] = (
-                    member_margins.get(q.key_name, 0.0) + (s0 - s1)
+                    member_margins.get(q.key_name, 0.0) + float(s0 - s1)
                 )
             # Normalise each member's margin scale before voting so ensemble
             # members with larger logit ranges do not dominate.

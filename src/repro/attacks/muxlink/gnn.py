@@ -207,3 +207,10 @@ class GnnLinkPredictor:
         )
         logit, _ = self._forward(sub)
         return logit
+
+    def score_links(self, pairs: list[tuple[int, int]]) -> np.ndarray:
+        """Logits for many links (per-pair subgraph extraction; the
+        enclosing-subgraph pipeline has no shared work to batch)."""
+        return np.array(
+            [self.score_link(u, v) for u, v in pairs], dtype=np.float64
+        )

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.attacks.muxlink.features import (
     LINK_FEATURE_DIM,
-    link_feature_vector,
+    link_feature_matrix,
     make_training_pairs,
 )
 from repro.attacks.muxlink.graph import ObservedGraph
@@ -59,7 +59,7 @@ class MlpLinkPredictor:
         pairs, labels = make_training_pairs(graph, self.n_train, seeds[0])
         if not pairs:
             raise AttackError("observed graph has no wires to train on")
-        x = np.stack([link_feature_vector(graph, u, v) for u, v in pairs])
+        x = link_feature_matrix(graph, pairs)
         y = labels.reshape(-1, 1)
 
         self._mu = x.mean(axis=0)
@@ -91,8 +91,34 @@ class MlpLinkPredictor:
 
     def score_link(self, u: int, v: int) -> float:
         """Logit that ``u`` truly drives ``v``."""
+        return float(self.score_links([(u, v)])[0])
+
+    def score_links(self, pairs: list[tuple[int, int]]) -> np.ndarray:
+        """Logits for many candidate links (one batched feature pass).
+
+        Feature extraction and normalisation are batched; the model
+        forward still runs row by row because BLAS matmuls accumulate in
+        a shape-dependent order — a population-sized batch would round
+        differently in the last ulp and break the attack's pinned
+        bit-for-bit scores.
+        """
         if self._model is None or self._graph is None:
             raise AttackError("predictor not fitted")
-        feats = link_feature_vector(self._graph, u, v)
-        x = ((feats - self._mu) / self._sigma).reshape(1, -1)
-        return float(self._model.forward(x)[0, 0])
+        x = link_feature_matrix(self._graph, list(pairs))
+        x_norm = (x - self._mu) / self._sigma
+        # Inlined per-row forward: same ops as Linear (x @ W + b) and
+        # ReLU (x * (x > 0)) without the layer-dispatch overhead, which
+        # at one-row batches costs more than the matmuls themselves.
+        steps = [
+            (layer.weight.value, layer.bias.value)
+            if isinstance(layer, Linear)
+            else None
+            for layer in self._model.layers
+        ]
+        scores = np.empty(x_norm.shape[0], dtype=np.float64)
+        for i in range(x_norm.shape[0]):
+            h = x_norm[i : i + 1]
+            for wb in steps:
+                h = h @ wb[0] + wb[1] if wb is not None else h * (h > 0)
+            scores[i] = h[0, 0]
+        return scores

@@ -72,6 +72,8 @@ class SatAttack(Attack):
         cnf.add_clause([-miter_lit] + diff_vars)
 
         n_dips = 0
+        dips: list[dict[str, int]] = []
+        responses: list[dict[str, int]] = []
         status = "completed"
         for _ in range(self.max_iterations):
             result = inc.solve([miter_lit], max_conflicts=self.max_conflicts)
@@ -82,6 +84,8 @@ class SatAttack(Attack):
                 break
             dip = {sig: int(result.model[var]) for sig, var in pi_vars.items()}
             response = oracle(dip)
+            dips.append(dip)
+            responses.append(response)
             n_dips += 1
             # Pin two fresh circuit copies (one per key vector) to the
             # observed input/output behaviour.
@@ -116,6 +120,11 @@ class SatAttack(Attack):
         else:
             guesses = {k: None for k in netlist.key_inputs}
 
+        # Audit: replay every recorded DIP through the oracle's batched
+        # path (one bit-parallel simulation) and check it reproduces the
+        # single-query responses the solver was constrained with.
+        oracle_consistent = oracle.batch(dips) == responses
+
         return self._report(
             locked,
             guesses,
@@ -123,6 +132,7 @@ class SatAttack(Attack):
             extra={
                 "status": status,
                 "n_dips": n_dips,
+                "oracle_consistent": oracle_consistent,
                 "functional_equivalent": functional_equivalent,
                 "decisions": inc.stats.decisions,
                 "conflicts": inc.stats.conflicts,

@@ -44,6 +44,7 @@ from repro.ec.evaluator import (
     supports_async,
 )
 from repro.ec.loop import (
+    BacklogTuner,
     LoopPolicy,
     LoopState,
     SearchLoop,
@@ -98,6 +99,7 @@ __all__ = [
     "ProcessPoolEvaluator",
     "AsyncEvaluator",
     "supports_async",
+    "BacklogTuner",
     "SearchLoop",
     "LoopPolicy",
     "LoopState",

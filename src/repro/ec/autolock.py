@@ -75,7 +75,7 @@ class AutoLockConfig:
     seed: int = 0
     workers: int = 1
     async_mode: bool | None = None
-    async_backlog: int | None = None
+    async_backlog: int | str | None = None
     cache_path: str | Path | None = None
     #: store backend for ``cache_path`` (None = infer from suffix).
     store: str | None = None

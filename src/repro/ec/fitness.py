@@ -26,6 +26,7 @@ benchmark sweeps never mix incompatible evaluations.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,6 +36,7 @@ from repro.attacks.muxlink.attack import MuxLinkAttack
 from repro.attacks.scope import ScopeAttack
 from repro.ec.genotype import genotype_key
 from repro.locking.base import LockedCircuit
+from repro.locking.delta import DeltaRelocker
 from repro.locking.genome_lock import lock_with_genes
 from repro.locking.primitives import Gene, primitive_for_gene
 from repro.metrics.overhead import area_estimate
@@ -46,6 +48,44 @@ from repro.registry import create_attack
 #: deterministic function of the genotype and cache entries are shared
 #: between the classic and the spec-driven APIs.
 DEFAULT_ATTACK_SEED = 0xA070
+
+
+def resolve_relock(relock: str | None) -> str:
+    """Normalise a re-locking mode: ``"delta"``, ``"scratch"``, or None.
+
+    ``None`` defers to the ``REPRO_RELOCK`` environment variable and
+    finally to ``"delta"`` — the incremental path is the default because
+    it is property-tested structurally identical to the scratch builder
+    (``tests/test_locking_delta.py``) and several times faster; set
+    ``REPRO_RELOCK=scratch`` to force the one-shot builder everywhere,
+    e.g. when bisecting a suspected delta-path regression.
+    """
+    if relock is None:
+        relock = os.environ.get("REPRO_RELOCK", "delta")
+    if relock not in ("delta", "scratch"):
+        raise ValueError(
+            f"relock mode must be 'delta' or 'scratch', got {relock!r}"
+        )
+    return relock
+
+
+class _RelockMixin:
+    """Shared phenotype builder: delta re-lock with a scratch fallback.
+
+    Expects ``self.original`` and ``self.relock`` to be set. The
+    :class:`~repro.locking.delta.DeltaRelocker` is created lazily so a
+    fitness object can be constructed cheaply (and pickled to worker
+    processes, each of which then builds its own base fanout map once).
+    """
+
+    _relocker: DeltaRelocker | None = None
+
+    def _lock(self, genes: Sequence[Gene]) -> LockedCircuit:
+        if self.relock == "scratch":
+            return lock_with_genes(self.original, list(genes))
+        if self._relocker is None:
+            self._relocker = DeltaRelocker(self.original)
+        return self._relocker.lock(list(genes))
 
 
 class FitnessFunction(Protocol):
@@ -291,7 +331,7 @@ class FitnessCache:
         return len(self.store)
 
 
-class SpecFitness:
+class SpecFitness(_RelockMixin):
     """Scalar fitness = attack accuracy of the decoded phenotype.
 
     The attack is resolved through the attack registry, so *any*
@@ -313,12 +353,14 @@ class SpecFitness:
         attack_params: dict | None = None,
         attack_seed: int = DEFAULT_ATTACK_SEED,
         cache: FitnessCache | None = None,
+        relock: str | None = None,
     ) -> None:
         self.original = original
         self.attack_name = attack
         self.attack_params = dict(attack_params or {})
         self.attack_seed = attack_seed
         self.cache = cache if cache is not None else FitnessCache()
+        self.relock = resolve_relock(relock)
         self._attack = create_attack(attack, **self.attack_params)
         self._scope = ScopeAttack()
         self.evaluations = 0
@@ -328,7 +370,7 @@ class SpecFitness:
         cached = self.cache.get(key)
         if cached is not None:
             return float(cached)
-        locked = lock_with_genes(self.original, list(genes))
+        locked = self._lock(genes)
         report = self._attack.run(locked, seed_or_rng=self.attack_seed)
         value = resilience_accuracy(
             locked, genes, report, self._scope, self.attack_seed
@@ -355,6 +397,7 @@ class MuxLinkFitness(SpecFitness):
         ensemble: int = 1,
         attack_seed: int = DEFAULT_ATTACK_SEED,
         cache: FitnessCache | None = None,
+        relock: str | None = None,
         **predictor_kwargs,
     ) -> None:
         super().__init__(
@@ -366,10 +409,11 @@ class MuxLinkFitness(SpecFitness):
             },
             attack_seed=attack_seed,
             cache=cache,
+            relock=relock,
         )
 
 
-class MultiObjectiveFitness:
+class MultiObjectiveFitness(_RelockMixin):
     """Vector fitness for NSGA-II (all components minimised).
 
     Available objectives (picked by name, order preserved):
@@ -412,6 +456,7 @@ class MultiObjectiveFitness:
         corruption_patterns: int = 256,
         corruption_keys: int = 3,
         cache: FitnessCache | None = None,
+        relock: str | None = None,
         **predictor_kwargs,
     ) -> None:
         unknown = [o for o in objectives if o not in self.OBJECTIVES]
@@ -427,6 +472,7 @@ class MultiObjectiveFitness:
         self.corruption_patterns = corruption_patterns
         self.corruption_keys = corruption_keys
         self.cache = cache if cache is not None else FitnessCache()
+        self.relock = resolve_relock(relock)
         self._attack = MuxLinkAttack(predictor=predictor, **predictor_kwargs)
         self._scope = ScopeAttack()
         self._base_area = max(1e-9, area_estimate(original))
@@ -464,7 +510,7 @@ class MultiObjectiveFitness:
         cached = self.cache.get(key)
         if cached is not None:
             return tuple(cached)
-        locked = lock_with_genes(self.original, list(genes))
+        locked = self._lock(genes)
         values: dict[str, float] = {}
         # A full scope report serves both the "scope" objective and the
         # mixed-genotype aggregation in "muxlink" — never propagate

@@ -63,6 +63,9 @@ class GaConfig:
     future-capable. ``async_backlog`` bounds in-flight evaluations in
     steady-state mode (default: ``population_size``); raising it trades
     parent freshness for saturation under strongly skewed attack costs.
+    The string ``"auto"`` sizes the backlog at run time from observed
+    evaluation latencies (see :class:`~repro.ec.loop.BacklogTuner`) —
+    the trajectory then depends on machine timing, so it is opt-in.
 
     ``alphabet`` names the locking primitives the genotype may compose
     (``repro.registry.PRIMITIVES``); the default ``("mux",)`` reproduces
@@ -82,7 +85,7 @@ class GaConfig:
     patience: int | None = None
     seed: int = 0
     async_mode: bool | None = None
-    async_backlog: int | None = None
+    async_backlog: int | str | None = None
     alphabet: tuple[str, ...] = DEFAULT_ALPHABET
 
     def __post_init__(self) -> None:
@@ -105,7 +108,13 @@ class GaConfig:
             )
         if not 0.0 <= self.crossover_rate <= 1.0:
             raise EvolutionError("crossover_rate must be in [0, 1]")
-        if self.async_backlog is not None and self.async_backlog < 1:
+        if isinstance(self.async_backlog, str):
+            if self.async_backlog != "auto":
+                raise EvolutionError(
+                    f"async_backlog must be an int or 'auto', "
+                    f"got {self.async_backlog!r}"
+                )
+        elif self.async_backlog is not None and self.async_backlog < 1:
             raise EvolutionError("async_backlog must be >= 1")
 
     @property
@@ -206,7 +215,7 @@ class GaPolicy(LoopPolicy):
         self._window_elapsed = 0.0
 
     @property
-    def async_backlog(self) -> int:
+    def async_backlog(self) -> int | str:
         if self.config.async_backlog is not None:
             return self.config.async_backlog
         return self.population_size

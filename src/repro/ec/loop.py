@@ -43,6 +43,8 @@ propagating — a crash mid-run never loses paid-for evaluations.
 from __future__ import annotations
 
 import contextlib
+import math
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -242,7 +244,11 @@ class LoopPolicy:
     async_backlog
         Async mode: maximum evaluations in flight. Deliberately a pure
         function of the configuration (never of the worker count), so
-        the async trajectory is identical at any parallelism.
+        the async trajectory is identical at any parallelism. The
+        string ``"auto"`` instead sizes the backlog at run time from a
+        :class:`BacklogTuner` over observed evaluation latencies —
+        higher throughput under skewed attack costs, at the price of a
+        timing-dependent (machine-specific) trajectory.
     sequential_breeding
         True for searches whose next candidate depends on the previous
         result (hill climbing, annealing): async mode then keeps exactly
@@ -261,7 +267,7 @@ class LoopPolicy:
     sequential_breeding: bool = False
 
     @property
-    def async_backlog(self) -> int:
+    def async_backlog(self) -> int | str:
         return self.population_size
 
     # -- lifecycle ------------------------------------------------------
@@ -321,6 +327,68 @@ class LoopPolicy:
         return False
 
 
+class BacklogTuner:
+    """Adapts the async backlog to observed per-candidate latency.
+
+    The steady-state pipeline keeps ``backlog`` evaluations in flight; a
+    fixed value is either too small (workers idle whenever one slow
+    attack run blocks the FIFO head) or wastefully large (offspring bred
+    from stale parents). The tuner sizes it from the two numbers that
+    matter: how long a typical evaluation takes (EWMA mean) and how long
+    the occasional straggler takes (decaying peak) —
+
+        ``target = clamp(ceil(workers * peak / mean), floor, ceiling)``
+
+    i.e. enough slack that every worker stays busy for the duration of
+    the worst straggler seen recently, and no more. ``observe`` is fed
+    from future done-callbacks, so it is lock-guarded; cache hits never
+    reach it (a memoised answer says nothing about attack latency).
+
+    With uniform costs the target settles at ``workers + 1``; strongly
+    skewed costs push it toward ``ceiling = 8 * workers``. Note an
+    auto-tuned backlog reacts to *measured timing*, so unlike a fixed
+    backlog the bred trajectory may vary across machines and runs —
+    opt-in via ``async_backlog="auto"``, never the default.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        alpha: float = 0.3,
+        peak_decay: float = 0.95,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.floor = self.workers + 1
+        self.ceiling = 8 * self.workers
+        self.alpha = alpha
+        self.peak_decay = peak_decay
+        self._mean: float | None = None
+        self._peak = 0.0
+        self.observations = 0
+        self._lock = threading.Lock()
+
+    def observe(self, latency_s: float) -> None:
+        """Record one completed evaluation's wall-clock latency."""
+        latency_s = max(0.0, float(latency_s))
+        with self._lock:
+            self.observations += 1
+            if self._mean is None:
+                self._mean = latency_s
+            else:
+                self._mean += self.alpha * (latency_s - self._mean)
+            self._peak = max(latency_s, self._peak * self.peak_decay)
+
+    def target(self) -> int:
+        """The current backlog size; ``floor`` until evidence arrives."""
+        with self._lock:
+            mean, peak = self._mean, self._peak
+        if not mean or mean <= 0.0 or peak <= 0.0:
+            return self.floor
+        raw = math.ceil(self.workers * (peak / mean))
+        return max(self.floor, min(self.ceiling, raw))
+
+
 def resolve_async(async_mode: bool | None, evaluator: Evaluator) -> bool:
     """Resolve a config's tri-state ``async_mode`` against an evaluator.
 
@@ -359,6 +427,8 @@ class SearchLoop:
     future-capable evaluator (:class:`~repro.ec.evaluator.AsyncEvaluator`);
     ``max_pending`` overrides the policy's ``async_backlog`` (tests and
     benchmarks only — the default keeps trajectories worker-independent).
+    Either may be the string ``"auto"`` to let a :class:`BacklogTuner`
+    size the backlog from observed evaluation latencies.
     """
 
     def __init__(
@@ -367,7 +437,7 @@ class SearchLoop:
         evaluator: Evaluator | None = None,
         *,
         async_mode: bool = False,
-        max_pending: int | None = None,
+        max_pending: int | str | None = None,
     ) -> None:
         self.policy = policy
         self.evaluator = evaluator if evaluator is not None else SerialEvaluator()
@@ -449,16 +519,32 @@ class SearchLoop:
             if self.max_pending is not None
             else policy.async_backlog
         )
+        tuner: BacklogTuner | None = None
         if policy.sequential_breeding:
             max_pending = 1
+        elif max_pending == "auto":
+            tuner = BacklogTuner(getattr(evaluator, "workers", 1))
+            max_pending = tuner.floor
         max_pending = max(1, max_pending)
+
+        def submit(genes):
+            future = evaluator.submit(genes, fitness)
+            if tuner is not None and not future.done():
+                # Future lifetime ≈ queue wait + evaluation; cache hits
+                # and deduped submissions come back already resolved and
+                # carry no latency signal — skip them.
+                t0 = time.perf_counter()
+                future.add_done_callback(
+                    lambda _f: tuner.observe(time.perf_counter() - t0)
+                )
+            return future
 
         # Shared evaluators (one pool per sweep/worker) carry accounting
         # from earlier runs; policies must only ever see this run's.
         totals_baseline = evaluator.total
         pending: deque = deque()
         for genes in policy.initialize(rng)[: max(1, budget)]:
-            pending.append((genes, evaluator.submit(genes, fitness)))
+            pending.append((genes, submit(genes)))
         submitted = len(pending)
         completed = 0
         stopped_early = False
@@ -475,9 +561,11 @@ class SearchLoop:
                 if policy.async_should_stop(completed):
                     stopped_early = True
                     break
+                if tuner is not None:
+                    max_pending = tuner.target()
                 while submitted < budget and len(pending) < max_pending:
                     child = policy.breed_async(rng)
-                    pending.append((child, evaluator.submit(child, fitness)))
+                    pending.append((child, submit(child)))
                     submitted += 1
         finally:
             if pending:

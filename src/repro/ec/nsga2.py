@@ -170,7 +170,7 @@ class Nsga2Config:
     mutation: str | MutationConfig = "default"
     seed: int = 0
     async_mode: bool | None = None
-    async_backlog: int | None = None
+    async_backlog: int | str | None = None
     #: locking-primitive alphabet (see ``repro.registry.PRIMITIVES``).
     alphabet: tuple[str, ...] = DEFAULT_ALPHABET
 
@@ -182,7 +182,13 @@ class Nsga2Config:
             raise EvolutionError(f"unknown crossover {self.crossover!r}")
         if isinstance(self.mutation, str) and self.mutation not in MUTATIONS:
             raise EvolutionError(f"unknown mutation {self.mutation!r}")
-        if self.async_backlog is not None and self.async_backlog < 1:
+        if isinstance(self.async_backlog, str):
+            if self.async_backlog != "auto":
+                raise EvolutionError(
+                    f"async_backlog must be an int or 'auto', "
+                    f"got {self.async_backlog!r}"
+                )
+        elif self.async_backlog is not None and self.async_backlog < 1:
             raise EvolutionError("async_backlog must be >= 1")
 
     @property
@@ -229,7 +235,7 @@ class Nsga2Policy(LoopPolicy):
         self._window_totals = BatchStats()
 
     @property
-    def async_backlog(self) -> int:
+    def async_backlog(self) -> int | str:
         if self.config.async_backlog is not None:
             return self.config.async_backlog
         return self.population_size

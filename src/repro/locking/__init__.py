@@ -39,6 +39,7 @@ from repro.locking.primitives import (
     resolve_alphabet,
 )
 from repro.locking.genome_lock import genes_from_locked, lock_with_genes
+from repro.locking.delta import DeltaRelocker
 
 __all__ = [
     "Key",
@@ -64,4 +65,5 @@ __all__ = [
     "genotype_overhead",
     "lock_with_genes",
     "genes_from_locked",
+    "DeltaRelocker",
 ]

@@ -235,7 +235,7 @@ def apply_gene(
     netlist.add_gate(mux_j, GateType.MUX, [key_name_j, *d_j])
     netlist.rewire_pin(gene.g_i, pin_i, mux_i)
     netlist.rewire_pin(gene.g_j, pin_j, mux_j)
-    netlist.topological_order()  # defensive: must stay acyclic by construction
+    netlist.check_acyclic()  # defensive: must stay acyclic by construction
     return MuxPairInsertion(
         key_name_i=key_name_i,
         key_bit_i=gene.k,

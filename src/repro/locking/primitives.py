@@ -362,7 +362,7 @@ class _KeyGatePrimitive(LockPrimitive):
         keygate = netlist.fresh_name(f"kg_{key_name}")
         netlist.add_gate(keygate, self._gate_type(gene.k), [gene.f, key_name])
         netlist.rewire_pin(gene.g, pin, keygate)
-        netlist.topological_order()  # defensive: stays acyclic by construction
+        netlist.check_acyclic()  # defensive: stays acyclic by construction
         return KeyGateInsertion(
             kind=self.kind,
             key_name=key_name,

@@ -1,0 +1,146 @@
+"""Copy-on-write netlist view for delta re-locking.
+
+:class:`CowNetlist` is a :class:`~repro.netlist.netlist.Netlist` seeded
+from an immutable *base* design whose graph caches are maintained
+**incrementally** instead of being invalidated wholesale on every
+mutation. The plain ``Netlist`` drops its fanout map and topological
+order after each ``add_gate``/``rewire_pin`` and rebuilds both from
+scratch on the next query — fine for one-shot construction, ruinous for
+the GA's fitness loop, which re-locks the same base circuit once per
+candidate and pays two full fanout rebuilds plus one full Kahn sort *per
+gene* (see ``benchmarks/bench_delta_relock.py``).
+
+The view changes exactly two behaviours:
+
+* **Incremental fanouts.** The fanout map starts as a shallow snapshot
+  of the base's map, sharing the base's per-signal consumer lists. A
+  mutation touching signal ``s`` first *owns* that one list (copies it),
+  then patches it in place — only the touched fanout regions are ever
+  copied, and ``fanouts()``/``has_path`` never trigger a rebuild.
+* **Deferred acyclicity.** :meth:`check_acyclic` is a no-op. The locking
+  primitives call it defensively after every insertion, but their
+  ``_check_gene`` reachability tests already reject cycle-creating genes
+  *before* mutating; :class:`~repro.locking.delta.DeltaRelocker` runs
+  one full :meth:`topological_order` per candidate at the end, so a
+  constructed phenotype is still verified — once, not once per gene.
+
+The gates dict is copied from the base (gates are immutable, so a dict
+copy is a deep copy), and insertion order matches a scratch
+``base.copy()`` build exactly — every iteration-order-sensitive consumer
+(graph extraction, simulation, metrics) sees the identical structure.
+The cached topological order is still invalidated by mutations and
+recomputed lazily; only the *fanout* cache is incremental, because that
+is the one the locking hot path hammers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+class CowNetlist(Netlist):
+    """A mutable copy-on-write view over an immutable base netlist."""
+
+    def __init__(self, name: str = "design") -> None:
+        super().__init__(name)
+        # Signals whose fanout list is private to this view (safe to
+        # mutate in place). Everything else still aliases the base map.
+        self._owned: set[str] = set()
+
+    @classmethod
+    def from_base(
+        cls,
+        base: Netlist,
+        name: str | None = None,
+        base_fanouts: dict[str, list[tuple[str, int]]] | None = None,
+    ) -> "CowNetlist":
+        """A view of ``base`` ready for incremental locking mutations.
+
+        ``base_fanouts`` lets a caller that re-locks the same base many
+        times (the delta re-locker) share one precomputed fanout map
+        across all views instead of paying ``base.fanouts()`` per
+        candidate; it must be exactly ``base.fanouts()``'s value.
+        """
+        view = cls(name or base.name)
+        view.inputs = list(base.inputs)
+        view.key_inputs = list(base.key_inputs)
+        view.outputs = list(base.outputs)
+        view.gates = dict(base.gates)
+        fanouts = base_fanouts if base_fanouts is not None else base.fanouts()
+        # Shallow snapshot: per-signal lists are shared with the base
+        # until a mutation owns them.
+        view._fanout_cache = dict(fanouts)
+        view._owned = set()
+        return view
+
+    # ------------------------------------------------------------------
+    # incremental cache maintenance
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        # Mutations still invalidate the topological order (recomputed
+        # lazily, at most once per candidate), but never the fanout map:
+        # the overridden mutators below patch it incrementally.
+        self._topo_cache = None
+
+    def _own(self, signal: str) -> list[tuple[str, int]]:
+        """The private (mutable) fanout list of ``signal``."""
+        assert self._fanout_cache is not None
+        if signal not in self._owned:
+            self._fanout_cache[signal] = list(self._fanout_cache[signal])
+            self._owned.add(signal)
+        return self._fanout_cache[signal]
+
+    def fanouts(self) -> dict[str, list[tuple[str, int]]]:
+        assert self._fanout_cache is not None
+        return self._fanout_cache
+
+    def check_acyclic(self) -> None:
+        """No-op: acyclicity is validated once per candidate by the
+        caller (the gene-level reachability checks reject cycle-creating
+        insertions before any mutation happens)."""
+
+    # ------------------------------------------------------------------
+    # mutators (base behaviour + incremental fanout patches)
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> None:
+        super().add_input(name)
+        self._fanout_cache[name] = []
+        self._owned.add(name)
+
+    def add_key_input(self, name: str) -> None:
+        super().add_key_input(name)
+        self._fanout_cache[name] = []
+        self._owned.add(name)
+
+    def add_gate(self, name: str, gtype: GateType, fanins) -> "Gate":
+        gate = super().add_gate(name, gtype, fanins)
+        self._fanout_cache[name] = []
+        self._owned.add(name)
+        for pin, src in enumerate(gate.fanins):
+            self._own(src).append((name, pin))
+        return gate
+
+    def remove_gate(self, name: str) -> None:
+        gate = self.gates.get(name)
+        super().remove_gate(name)
+        for pin, src in enumerate(gate.fanins):
+            self._own(src).remove((name, pin))
+        del self._fanout_cache[name]
+        self._owned.discard(name)
+
+    def rewire_pin(self, gate_name: str, pin: int, new_src: str) -> None:
+        gate = self.gates.get(gate_name)
+        if gate is None:
+            raise NetlistError(f"no gate named {gate_name!r}")
+        old_src = gate.fanins[pin] if pin < len(gate.fanins) else None
+        super().rewire_pin(gate_name, pin, new_src)
+        if old_src is not None:
+            self._own(old_src).remove((gate_name, pin))
+        self._own(new_src).append((gate_name, pin))
+
+    def widen_gate(self, gate_name: str, new_src: str) -> None:
+        super().widen_gate(gate_name, new_src)
+        pin = len(self.gates[gate_name].fanins) - 1
+        self._own(new_src).append((gate_name, pin))

@@ -231,6 +231,16 @@ class Netlist:
         self._topo_cache = order
         return order
 
+    def check_acyclic(self) -> None:
+        """Assert the netlist is a DAG (raises :class:`NetlistError`).
+
+        The locking primitives call this after every insertion as a
+        defensive guard. Subclasses that maintain acyclicity invariants
+        incrementally (see :class:`repro.netlist.cow.CowNetlist`) may
+        override it with a cheaper check and validate once at the end.
+        """
+        self.topological_order()
+
     def levels(self) -> dict[str, int]:
         """Logic level of each signal: inputs at 0, gates at 1 + max(fanins)."""
         level: dict[str, int] = {s: 0 for s in self._input_set()}

@@ -12,7 +12,13 @@ from repro.sim.patterns import (
     random_patterns,
     unpack_bits,
 )
-from repro.sim.simulator import SimResult, simulate, simulate_bits, oracle_fn
+from repro.sim.simulator import (
+    SimOracle,
+    SimResult,
+    oracle_fn,
+    simulate,
+    simulate_bits,
+)
 from repro.sim.equivalence import EquivalenceResult, check_equivalence, output_error_rate
 
 __all__ = [
@@ -23,6 +29,7 @@ __all__ = [
     "SimResult",
     "simulate",
     "simulate_bits",
+    "SimOracle",
     "oracle_fn",
     "EquivalenceResult",
     "check_equivalence",

@@ -9,7 +9,7 @@ design as the black-box oracle interface the SAT attack expects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Mapping
 
 import numpy as np
 
@@ -104,9 +104,34 @@ def simulate_bits(
     """
     if not netlist.inputs:
         raise SimulationError("netlist has no primary inputs")
+    if not input_bits:
+        raise SimulationError(
+            f"input_bits is empty; expected vectors for the "
+            f"{len(netlist.inputs)} primary inputs"
+        )
+    missing = [s for s in netlist.inputs if s not in input_bits]
+    if missing:
+        raise SimulationError(
+            f"input_bits is missing primary inputs {missing[:4]}"
+            + ("..." if len(missing) > 4 else "")
+        )
+    unknown = [s for s in input_bits if s not in netlist.inputs]
+    if unknown:
+        hint = (
+            "; key inputs belong in key=, not input_bits"
+            if any(s in netlist.key_inputs for s in unknown)
+            else ""
+        )
+        raise SimulationError(
+            f"input_bits assigns non-input signals {unknown[:4]}"
+            + ("..." if len(unknown) > 4 else "")
+            + hint
+        )
     lengths = {len(np.asarray(v)) for v in input_bits.values()}
     if len(lengths) != 1:
-        raise SimulationError(f"input vectors have differing lengths: {lengths}")
+        raise SimulationError(
+            f"input vectors have differing lengths: {sorted(lengths)}"
+        )
     n_patterns = lengths.pop()
 
     packed: dict[str, np.ndarray] = {
@@ -126,20 +151,68 @@ def simulate_bits(
     return simulate(netlist, packed, n_patterns)
 
 
-def oracle_fn(netlist: Netlist) -> Callable[[dict[str, int]], dict[str, int]]:
-    """Wrap an (unlocked) netlist as a single-pattern black-box oracle.
+class SimOracle:
+    """An activated (unlocked) design as a black-box oracle.
 
-    The returned callable maps ``{input: bit}`` to ``{output: bit}`` — the
-    interface an activated chip presents to the oracle-guided SAT attack.
+    Callable with a single ``{input: bit}`` assignment (the interface the
+    oracle-guided SAT attack expects), returning ``{output: bit}``. The
+    single-query path builds one uint64 word per input directly — no
+    per-query vector allocation or pack/unpack round trip. For many
+    accumulated queries (e.g. re-checking every recorded DIP),
+    :meth:`batch` answers them all in one bit-parallel simulation.
     """
-    if netlist.key_inputs:
-        raise SimulationError(
-            "oracle must be an activated (unlocked) design without key inputs"
-        )
 
-    def oracle(assignment: dict[str, int]) -> dict[str, int]:
-        vectors = {sig: np.array([assignment[sig] & 1]) for sig in netlist.inputs}
-        result = simulate_bits(netlist, vectors)
-        return {o: int(result.bits(o)[0]) for o in netlist.outputs}
+    def __init__(self, netlist: Netlist) -> None:
+        if netlist.key_inputs:
+            raise SimulationError(
+                "oracle must be an activated (unlocked) design without key inputs"
+            )
+        self.netlist = netlist
 
-    return oracle
+    def __call__(self, assignment: Mapping[str, int]) -> dict[str, int]:
+        netlist = self.netlist
+        # One pattern: bit 0 of a single word carries the value, so the
+        # packed representation of [b] is just the word b.
+        words = {
+            sig: np.array([assignment[sig] & 1], dtype=np.uint64)
+            for sig in netlist.inputs
+        }
+        result = simulate(netlist, words, 1)
+        one = np.uint64(1)
+        return {o: int(result.words[o][0] & one) for o in netlist.outputs}
+
+    def batch(
+        self, assignments: list[Mapping[str, int]]
+    ) -> list[dict[str, int]]:
+        """Answer many queries in one bit-parallel simulation.
+
+        Equivalent to ``[oracle(a) for a in assignments]`` but evaluates
+        every gate once per 64 queries instead of once per query.
+        """
+        if not assignments:
+            return []
+        n = len(assignments)
+        netlist = self.netlist
+        packed = {
+            sig: pack_bits(
+                np.fromiter(
+                    (a[sig] & 1 for a in assignments), dtype=np.uint8, count=n
+                )
+            )
+            for sig in netlist.inputs
+        }
+        result = simulate(netlist, packed, n)
+        outs = {o: unpack_bits(result.words[o], n) for o in netlist.outputs}
+        return [
+            {o: int(outs[o][j]) for o in netlist.outputs} for j in range(n)
+        ]
+
+
+def oracle_fn(netlist: Netlist) -> SimOracle:
+    """Wrap an (unlocked) netlist as a black-box oracle.
+
+    Returns a :class:`SimOracle`: call it per pattern, or use its
+    :meth:`~SimOracle.batch` method to resolve accumulated queries in one
+    simulation pass.
+    """
+    return SimOracle(netlist)

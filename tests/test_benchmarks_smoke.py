@@ -42,6 +42,7 @@ BENCH_ENTRY_POINTS = [
     ("bench_e11_heuristic_comparison", "run_comparison"),
     ("bench_sweep_throughput", "run_throughput"),
     ("bench_async_loop", "run_async_loop"),
+    ("bench_delta_relock", "run_delta_relock"),
     ("bench_alphabet_ablation", "run_alphabet_ablation"),
 ]
 

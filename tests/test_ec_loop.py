@@ -26,6 +26,7 @@ from repro.ec import (
     AsyncEvaluator,
     AutoLock,
     AutoLockConfig,
+    BacklogTuner,
     FitnessCache,
     GaConfig,
     GeneticAlgorithm,
@@ -235,6 +236,59 @@ def test_async_config_validation():
         GaConfig(async_backlog=0)
     with pytest.raises(EvolutionError, match="async_backlog"):
         Nsga2Config(async_backlog=0)
+    with pytest.raises(EvolutionError, match="int or 'auto'"):
+        GaConfig(async_backlog="adaptive")
+    with pytest.raises(EvolutionError, match="int or 'auto'"):
+        Nsga2Config(async_backlog="adaptive")
+    # "auto" is the one accepted string.
+    assert GaConfig(async_backlog="auto").async_backlog == "auto"
+    assert Nsga2Config(async_backlog="auto").async_backlog == "auto"
+
+
+# ------------------------------------------- adaptive backlog tuning
+def test_backlog_tuner_bounds_and_ewma():
+    tuner = BacklogTuner(4)
+    # No observations yet: conservative floor (workers + 1).
+    assert tuner.target() == 5
+    for _ in range(10):
+        tuner.observe(1.0)
+    # Uniform latency: peak/mean ~ 1, stays at the floor.
+    assert tuner.target() == 5
+    skewed = BacklogTuner(4)
+    for _ in range(20):
+        skewed.observe(0.1)
+    skewed.observe(2.0)
+    # One straggler: deepen the backlog, but never past 8x workers.
+    assert 5 < skewed.target() <= 32
+    spiky = BacklogTuner(2)
+    spiky.observe(1e-6)
+    spiky.observe(1e6)
+    assert spiky.target() <= 16
+    # Negative latencies (clock weirdness) must not corrupt the EWMA.
+    tuner.observe(-1.0)
+    assert tuner.target() >= 5
+
+
+def test_async_ga_runs_with_auto_backlog():
+    circuit = load_circuit("rand_100_7")
+    results = []
+    for backlog in ("auto", None):
+        config = GaConfig(
+            key_length=4, population_size=4, generations=3,
+            async_mode=True, async_backlog=backlog, seed=7,
+        )
+        evaluator = AsyncEvaluator(2)
+        try:
+            results.append(
+                GeneticAlgorithm(config).run(
+                    circuit, ones_fitness, evaluator=evaluator
+                )
+            )
+        finally:
+            evaluator.close()
+    auto, fixed = results
+    assert auto.evaluations == fixed.evaluations
+    assert auto.best_fitness <= 1.0
 
 
 # ------------------------------------------- crash-safe cache flushing

@@ -1,0 +1,92 @@
+"""Delta re-locking: CowNetlist views must be indistinguishable from
+scratch-built lock_with_genes output — structure, key, scheme,
+insertions, fanouts and topological order all identical."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import load_circuit
+from repro.errors import LockingError
+from repro.locking import DeltaRelocker, DMuxLocking, MuxGene, lock_with_genes
+from repro.locking.genome_lock import genes_from_locked
+from repro.ec.genotype import random_genotype
+from repro.netlist import validate_netlist
+from repro.netlist.cow import CowNetlist
+from repro.registry import PRIMITIVES
+
+
+def _assert_same_lock(delta, scratch):
+    assert delta.netlist.structurally_equal(scratch.netlist)
+    assert delta.netlist.name == scratch.netlist.name
+    assert delta.key.names == scratch.key.names
+    assert delta.key.bits == scratch.key.bits
+    assert delta.scheme == scratch.scheme
+    assert delta.insertions == scratch.insertions
+    assert delta.netlist.topological_order() == scratch.netlist.topological_order()
+    assert delta.netlist.fanouts() == scratch.netlist.fanouts()
+
+
+def test_delta_matches_scratch_dmux_genes(rand100):
+    locked = DMuxLocking("shared").lock(rand100, 8, seed_or_rng=13)
+    genes = genes_from_locked(locked)
+    relocker = DeltaRelocker(rand100)
+    delta = relocker.lock(genes)
+    scratch = lock_with_genes(rand100, genes)
+    validate_netlist(delta.netlist)
+    _assert_same_lock(delta, scratch)
+
+
+@pytest.mark.parametrize("kind", sorted(PRIMITIVES.available()))
+def test_delta_matches_scratch_every_primitive(rand100, kind):
+    rng = np.random.default_rng(17)
+    prim = PRIMITIVES.create(kind)
+    genes = [prim.sample(rand100, rng) for _ in range(6)]
+    relocker = DeltaRelocker(rand100)
+    _assert_same_lock(relocker.lock(genes), lock_with_genes(rand100, genes))
+
+
+@pytest.mark.parametrize("seed", [0, 5, 21])
+def test_delta_matches_scratch_mixed_alphabet(seed):
+    base = load_circuit("rand_150_5")
+    rng = np.random.default_rng(seed)
+    genotype = random_genotype(
+        base, 12, rng, alphabet=tuple(sorted(PRIMITIVES.available()))
+    )
+    relocker = DeltaRelocker(base)
+    _assert_same_lock(relocker.lock(genotype), lock_with_genes(base, genotype))
+
+
+def test_relocker_is_reusable_and_base_untouched(rand100):
+    before_gates = dict(rand100.gates)
+    before_fanouts = {k: list(v) for k, v in rand100.fanouts().items()}
+    relocker = DeltaRelocker(rand100)
+    rng = np.random.default_rng(3)
+    for _ in range(4):
+        relocker.lock(random_genotype(rand100, 4, rng))
+    assert dict(rand100.gates) == before_gates
+    assert {k: list(v) for k, v in rand100.fanouts().items()} == before_fanouts
+
+
+def test_delta_error_messages_match_scratch(rand100):
+    relocker = DeltaRelocker(rand100)
+    with pytest.raises(LockingError, match="at least one gene"):
+        relocker.lock([])
+    locked = DMuxLocking("shared").lock(rand100, 4, seed_or_rng=5)
+    genes = genes_from_locked(locked)
+    with pytest.raises(LockingError, match="reuses wire"):
+        relocker.lock(genes + [genes[0]])
+    ghost = MuxGene("ghost_a", "ghost_b", "ghost_c", "ghost_d", 0)
+    with pytest.raises(LockingError, match="gene 0 inapplicable"):
+        relocker.lock([ghost])
+
+
+def test_cow_view_mutations_do_not_leak_to_base(rand100):
+    from repro.netlist import GateType
+
+    view = CowNetlist.from_base(rand100)
+    sig = rand100.outputs[0]
+    consumers_before = list(rand100.fanouts().get(sig, []))
+    view.add_gate("cow_extra", GateType.BUF, [sig])
+    assert rand100.fanouts().get(sig, []) == consumers_before
+    assert "cow_extra" not in rand100.gates
+    assert ("cow_extra", 0) in view.fanouts()[sig]

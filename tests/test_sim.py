@@ -33,6 +33,22 @@ def test_pack_unpack_roundtrip(bits):
     assert np.array_equal(unpack_bits(words, len(bits)), np.array(bits, dtype=np.uint8))
 
 
+@pytest.mark.parametrize("n", [1, 63, 64, 65, 100, 127, 128, 129])
+def test_pack_unpack_non_multiple_of_64(n):
+    """Padding bits above ``n`` never leak into the unpacked vector."""
+    bits = np.resize(np.array([1, 0, 1, 1, 0], dtype=np.uint8), n)
+    words = pack_bits(bits)
+    assert np.array_equal(unpack_bits(words, n), bits)
+    # All-ones input: every payload bit set, every pad bit must stay 0.
+    ones = np.ones(n, dtype=np.uint8)
+    packed_ones = pack_bits(ones)
+    assert np.array_equal(unpack_bits(packed_ones, n), ones)
+    pad = len(packed_ones) * 64 - n
+    if pad:
+        top = int(packed_ones[-1])
+        assert top >> (64 - pad) == 0, "padding bits are not zero"
+
+
 def test_pack_rejects_matrices():
     with pytest.raises(SimulationError):
         pack_bits(np.zeros((2, 2)))
@@ -110,6 +126,31 @@ def test_simulate_bits_errors(dmux_locked, c17):
         simulate_bits(c17, vec)
 
 
+def test_simulate_bits_empty_input_dict(c17):
+    """No vectors at all is reported as such, not as a length mismatch."""
+    with pytest.raises(SimulationError, match="input_bits is empty"):
+        simulate_bits(c17, {})
+
+
+def test_simulate_bits_missing_primary_input(c17):
+    vec = {s: [0] for s in c17.inputs[1:]}
+    with pytest.raises(SimulationError, match="missing primary inputs"):
+        simulate_bits(c17, vec)
+
+
+def test_simulate_bits_rejects_non_input_signals(c17, dmux_locked):
+    vec = {s: [0] for s in c17.inputs}
+    vec["G22"] = [0]  # an output, not an input
+    with pytest.raises(SimulationError, match="non-input signals"):
+        simulate_bits(c17, vec)
+    # Key bits passed as pattern vectors get a pointed hint.
+    n = dmux_locked.netlist
+    kvec = {s: [0] for s in n.inputs}
+    kvec[n.key_inputs[0]] = [0]
+    with pytest.raises(SimulationError, match="key inputs belong in key="):
+        simulate_bits(n, kvec, key=dict(dmux_locked.key))
+
+
 def test_simulate_missing_input(c17):
     with pytest.raises(SimulationError, match="missing value"):
         simulate(c17, {}, 1)
@@ -134,6 +175,16 @@ def test_oracle_fn(c17):
 def test_oracle_rejects_locked(dmux_locked):
     with pytest.raises(SimulationError):
         oracle_fn(dmux_locked.netlist)
+
+
+def test_oracle_batch_matches_singles(c17):
+    oracle = oracle_fn(c17)
+    queries = [
+        dict(zip(c17.inputs, bits))
+        for bits in itertools.product([0, 1], repeat=len(c17.inputs))
+    ]
+    assert oracle.batch(queries) == [oracle(q) for q in queries]
+    assert oracle.batch([]) == []
 
 
 # ------------------------------------------------------------- equivalence
