@@ -10,10 +10,14 @@ Subcommands
              ``--workers-distributed N`` fans the *points* out across N
              worker processes cooperating through a SQLite store
 ``worker``   join a distributed sweep as one worker process (any machine
-             that can reach the store file)
+             that can reach the store file or campaign server URL)
+``serve``    front a local store as a campaign server: HTTP kv + work
+             queue + streaming results + live dashboard, so workers on
+             other machines join with ``--store http://host:8787``
 ``store``    operate on a shared experiment store: ``store status``
              (inspect), ``store retry`` (requeue failed sweep points),
-             ``store gc`` (drop unreachable experiment records + compact)
+             ``store gc`` (drop unreachable experiment records + compact);
+             every subcommand accepts a campaign URL as the store path
 ``plugins``  list every registered scheme / locking primitive / attack /
              predictor / engine / metric / store backend
 ``info``     print statistics of a benchmark circuit or the whole suite
@@ -275,11 +279,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_token(token: str | None) -> None:
+    """Export ``--token`` for every HttpStore this process (and its
+    worker children) opens; an explicit flag wins over the environment."""
+    if token:
+        import os
+
+        from repro.serve.client import TOKEN_ENV
+
+        os.environ[TOKEN_ENV] = token
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.serve import TOKEN_ENV, CampaignServer
+
+    token = args.token
+    generated = False
+    if not token:
+        import os
+        import secrets
+
+        token = os.environ.get(TOKEN_ENV, "")
+        if not token:
+            token = secrets.token_urlsafe(16)
+            generated = True
+    try:
+        server = CampaignServer(
+            args.path,
+            backend=args.backend,
+            host=args.host,
+            port=args.port,
+            token=token,
+            results_path=args.results,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign server: {server.url} (store {server.store_path})")
+    if generated:
+        print(f"token (generated): {token}")
+        print(f"  workers: autolock worker --store {server.url} "
+              f"--sweep-id ID --token {token}")
+    print(f"dashboard: {server.url}/status?token={token}")
+    print(f"results stream: {server.url}/stream/results (chunked NDJSON)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.api import SweepSpec
     from repro.dist import SweepScheduler, Worker
     from repro.errors import ReproError
 
+    _apply_token(args.token)
+    if args.store is not None:
+        if args.store_path is not None and args.store_path != args.store:
+            print(
+                "error: worker got two different stores "
+                f"({args.store_path!r} and --store {args.store!r}); "
+                "pass one",
+                file=sys.stderr,
+            )
+            return 2
+        args.store_path = args.store
     try:
         if args.spec is not None:
             sweep = SweepSpec.from_file(args.spec)
@@ -328,11 +396,13 @@ def _cmd_store_status(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.errors import ReproError
-    from repro.store import open_store
+    from repro.store import is_url, open_store
 
-    if not Path(args.path).exists():
+    _apply_token(args.token)
+    if not is_url(args.path) and not Path(args.path).exists():
         # Opening a sqlite store creates the file; a read-only inspection
-        # of a typo'd path must not fabricate an empty database.
+        # of a typo'd path must not fabricate an empty database. (URLs
+        # have no local file — reachability surfaces as a StoreError.)
         print(f"error: no store at {args.path!r}", file=sys.stderr)
         return 2
     try:
@@ -357,6 +427,15 @@ def _cmd_store_status(args: argparse.Namespace) -> int:
             print(f"  {sweep_id:<20} {summary}")
     else:
         print("sweeps: (none)")
+    server = status.get("server")
+    if server:
+        # Status came from a campaign server: surface its vitals too.
+        print(
+            f"server: {server['url']} (up {server['uptime_s']}s), "
+            f"{len(server['workers'])} worker(s) seen, "
+            f"{server['throughput']['completed_last_60s']} completed/min, "
+            f"results log {server['results_bytes']} bytes"
+        )
     return 0
 
 
@@ -371,9 +450,10 @@ def _cmd_store_retry(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.errors import ReproError
-    from repro.store import ensure_queue, open_store
+    from repro.store import ensure_queue, is_url, open_store
 
-    if not Path(args.path).exists():
+    _apply_token(args.token)
+    if not is_url(args.path) and not Path(args.path).exists():
         print(f"error: no store at {args.path!r}", file=sys.stderr)
         return 2
     try:
@@ -412,9 +492,10 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.errors import ReproError
-    from repro.store import gc_store
+    from repro.store import gc_store, is_url
 
-    if not Path(args.path).exists():
+    _apply_token(args.token)
+    if not is_url(args.path) and not Path(args.path).exists():
         print(f"error: no store at {args.path!r}", file=sys.stderr)
         return 2
     try:
@@ -456,6 +537,15 @@ def _cmd_plugins(args: argparse.Namespace) -> int:
             target = getattr(factory, "__qualname__", repr(factory))
             print(f"  {name:<22} {target}")
     return 0
+
+
+def _add_token_flag(parser: argparse.ArgumentParser) -> None:
+    """``--token``: campaign-server bearer token (http:// stores)."""
+    parser.add_argument(
+        "--token", default=None, metavar="TOKEN",
+        help="campaign-server bearer token for http:// store paths "
+        "(default: the AUTOLOCK_TOKEN environment variable)",
+    )
 
 
 def _add_alphabet_flag(parser: argparse.ArgumentParser) -> None:
@@ -615,7 +705,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_worker.add_argument(
         "store_path", nargs="?", default=None,
-        help="path to the shared store (e.g. sweep.sqlite)",
+        help="path to the shared store (e.g. sweep.sqlite) or a campaign "
+        "server URL (http://host:8787)",
+    )
+    p_worker.add_argument(
+        "--store", default=None, metavar="STORE",
+        help="same as the positional store path; reads naturally for "
+        "campaign URLs (`autolock worker --store http://host:8787 ...`)",
     )
     p_worker.add_argument(
         "--spec", default=None, metavar="SWEEP.json",
@@ -639,7 +735,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-points", type=int, default=None,
         help="exit after completing this many points (default: drain)",
     )
+    _add_token_flag(p_worker)
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="front a local store as an HTTP campaign server",
+        description="Serve a queue-capable store (SQLite by default) to "
+        "a fleet of workers over plain HTTP: kv + work-queue endpoints, "
+        "bearer-token auth, a streaming results tail "
+        "(/stream/results, chunked NDJSON, resumable via ?offset=), and "
+        "a live dashboard (/status). Workers on other machines join "
+        "with `autolock worker --store http://host:PORT --sweep-id ID "
+        "--token TOKEN`.",
+    )
+    p_serve.add_argument(
+        "path", help="local store file to front (e.g. sweep.sqlite)"
+    )
+    p_serve.add_argument(
+        "--backend", default=None, metavar="BACKEND",
+        help="backing store backend (default: inferred from the path "
+        "suffix; must be queue-capable for distributed sweeps)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; use 0.0.0.0 for a fleet)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port (default 8787; 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--token", default=None, metavar="TOKEN",
+        help="bearer token workers must present (default: AUTOLOCK_TOKEN "
+        "from the environment, else a fresh token is generated and "
+        "printed)",
+    )
+    p_serve.add_argument(
+        "--results", default=None, metavar="PATH",
+        help="results.jsonl the streaming endpoint tails (default: "
+        "<store>.results.jsonl next to the store file)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_store = sub.add_parser(
         "store", help="inspect a shared experiment store"
@@ -656,6 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    _add_token_flag(p_status)
     p_status.set_defaults(func=_cmd_store_status)
     p_retry = store_sub.add_parser(
         "retry",
@@ -675,6 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default=None, metavar="BACKEND",
         help="store backend name (default: inferred from the path suffix)",
     )
+    _add_token_flag(p_retry)
     p_retry.set_defaults(func=_cmd_store_retry)
     p_gc = store_sub.add_parser(
         "gc",
@@ -694,6 +833,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_gc.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    _add_token_flag(p_gc)
     p_gc.set_defaults(func=_cmd_store_gc)
 
     p_plugins = sub.add_parser(

@@ -28,17 +28,21 @@ the sweep id; everything else lives in the queue payloads.
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, TypeVar
 
 from repro.api.runner import EXPERIMENT_NAMESPACE, run_experiment
 from repro.api.spec import ExperimentSpec
 from repro.ec.evaluator import AsyncEvaluator, Evaluator
 from repro.ec.fitness import FitnessCache
+from repro.errors import StoreError
 from repro.store import STATUS_CLAIMED, STATUS_PENDING, ensure_queue, open_store
+
+T = TypeVar("T")
 
 
 def default_worker_id() -> str:
@@ -46,26 +50,76 @@ def default_worker_id() -> str:
     return f"w{os.getpid()}-{uuid.uuid4().hex[:6]}"
 
 
+def retry_with_backoff(
+    op: str,
+    fn: Callable[[], T],
+    *,
+    attempts: int = 5,
+    base_s: float = 0.2,
+    cap_s: float = 5.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn``, retrying :class:`StoreError` with jittered backoff.
+
+    Campaign stores live across a network: a blip or a server restart
+    surfaces as a ``StoreError`` that is gone a moment later. Delays
+    double from ``base_s`` up to ``cap_s`` with ±50% jitter (so a fleet
+    of workers doesn't re-dogpile a recovering server in lockstep); when
+    all ``attempts`` fail, the last error is re-raised wrapped with the
+    operation name so ``autolock worker`` exits non-zero with context.
+    """
+    last: StoreError | None = None
+    for attempt in range(max(1, attempts)):
+        try:
+            return fn()
+        except StoreError as exc:
+            last = exc
+            if attempt + 1 >= max(1, attempts):
+                break
+            delay = min(cap_s, base_s * (2**attempt))
+            sleep(delay * (0.5 + random.random()))
+    raise StoreError(
+        f"{op} still failing after {max(1, attempts)} attempts: {last}"
+    ) from last
+
+
 class _LeaseHeartbeat:
     """Background thread renewing one point's lease while it runs."""
 
-    def __init__(self, queue, point, interval_s: float, ttl: float) -> None:
+    def __init__(
+        self, queue, point, interval_s: float, ttl: float,
+        retry: Callable[[str, Callable[[], T]], T] | None = None,
+    ) -> None:
         self._queue = queue
         self._point = point
         self._interval_s = interval_s
         self._ttl = ttl
+        self._retry = retry
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self.lost = False
 
+    def _beat(self) -> bool:
+        return self._queue.heartbeat(
+            self._point.sweep_id,
+            self._point.fingerprint,
+            self._point.worker_id,
+            self._ttl,
+        )
+
     def _run(self) -> None:
         while not self._stop.wait(self._interval_s):
-            held = self._queue.heartbeat(
-                self._point.sweep_id,
-                self._point.fingerprint,
-                self._point.worker_id,
-                self._ttl,
-            )
+            try:
+                if self._retry is not None:
+                    held = self._retry("heartbeat", self._beat)
+                else:
+                    held = self._beat()
+            except StoreError:
+                # Server unreachable past the retry budget: the lease
+                # will expire server-side and a sibling will requeue the
+                # point, so behave exactly as if the lease was stolen.
+                self.lost = True
+                return
             if not held:
                 # Lease stolen (we stalled past the ttl). Keep computing —
                 # the result is deterministic and complete() is idempotent —
@@ -115,6 +169,22 @@ class Worker:
     #: stop after this many completed points (crash simulation in tests,
     #: bounded drain in ops); ``None`` runs until the queue is finished.
     max_points: int | None = None
+    #: store-call retry budget (claim/heartbeat/complete over a network
+    #: store): attempts with exponential backoff from ``retry_base_s``
+    #: capped at ``retry_cap_s``. Exhaustion releases the lease and
+    #: raises, so the CLI exits non-zero instead of wedging.
+    retry_attempts: int = 5
+    retry_base_s: float = 0.2
+    retry_cap_s: float = 5.0
+
+    def _retry(self, op: str, fn: Callable[[], T]) -> T:
+        return retry_with_backoff(
+            op,
+            fn,
+            attempts=self.retry_attempts,
+            base_s=self.retry_base_s,
+            cap_s=self.retry_cap_s,
+        )
 
     def run(self) -> WorkerReport:
         started = time.perf_counter()
@@ -141,12 +211,20 @@ class Worker:
                     and report.points_completed >= self.max_points
                 ):
                     break
-                point = queue.claim(self.sweep_id, self.worker_id, self.lease_ttl)
+                point = self._retry(
+                    "claim",
+                    lambda: queue.claim(
+                        self.sweep_id, self.worker_id, self.lease_ttl
+                    ),
+                )
                 if point is None:
                     # claim() already treats expired leases as claimable,
                     # so an empty claim means: drained, or siblings still
                     # hold live leases.
-                    counts = queue.queue_counts(self.sweep_id)
+                    counts = self._retry(
+                        "queue status",
+                        lambda: queue.queue_counts(self.sweep_id),
+                    )
                     if not (
                         counts.get(STATUS_PENDING, 0)
                         or counts.get(STATUS_CLAIMED, 0)
@@ -180,7 +258,8 @@ class Worker:
                         shared_evaluator.close()
                     shared_evaluator = AsyncEvaluator(max(1, spec.workers))
                 heartbeat = _LeaseHeartbeat(
-                    queue, point, heartbeat_interval, self.lease_ttl
+                    queue, point, heartbeat_interval, self.lease_ttl,
+                    retry=self._retry,
                 )
                 try:
                     with heartbeat:
@@ -206,14 +285,33 @@ class Worker:
                     if status == "failed":
                         report.points_failed += 1
                     continue
-                queue.complete(
-                    self.sweep_id,
-                    point.fingerprint,
-                    self.worker_id,
-                    fresh_evaluations=result.fresh_evaluations,
+                if heartbeat.lost:
+                    # Our lease expired mid-run and the point belongs to
+                    # a sibling; the lease-guarded complete would be
+                    # rejected anyway. The record itself is already
+                    # safely (and identically) in the store.
+                    continue
+                self._retry(
+                    "complete",
+                    lambda: queue.complete(
+                        self.sweep_id,
+                        point.fingerprint,
+                        self.worker_id,
+                        fresh_evaluations=result.fresh_evaluations,
+                    ),
                 )
                 report.points_completed += 1
                 report.fresh_evaluations += result.fresh_evaluations
+        except StoreError:
+            # Retry budget exhausted (server down for good, bad token,
+            # …): hand whatever we still hold back to the queue so a
+            # sibling can pick it up, then surface the error — the CLI
+            # turns it into a non-zero exit.
+            try:
+                queue.release_worker(self.sweep_id, self.worker_id)
+            except StoreError:
+                pass  # the release itself needs the unreachable server
+            raise
         finally:
             if shared_evaluator is not None:
                 shared_evaluator.close()

@@ -220,13 +220,19 @@ class FitnessCache:
         self._dirty: set[tuple] = set()
         self._store_backend = None
         if self.path is not None:
-            self.path = Path(self.path)
-            if self.path.is_dir():
-                raise ValueError(
-                    f"cache path {self.path} is a directory; "
-                    "point it at a file"
-                )
-            from repro.store import open_store
+            from repro.store import is_url, open_store
+
+            if is_url(self.path):
+                # Campaign-server URL: Path() would collapse "//" and
+                # there is no local file to sanity-check.
+                self.path = str(self.path)
+            else:
+                self.path = Path(self.path)
+                if self.path.is_dir():
+                    raise ValueError(
+                        f"cache path {self.path} is a directory; "
+                        "point it at a file"
+                    )
 
             if self.backend is None or isinstance(self.backend, str):
                 self._store_backend = open_store(self.path, self.backend)

@@ -1,0 +1,25 @@
+"""Campaign service: one store served over HTTP to a fleet of workers.
+
+:class:`~repro.serve.server.CampaignServer` fronts a local queue-capable
+store (SQLite by default) over stdlib HTTP;
+:class:`~repro.serve.client.HttpStore` is the matching client, a full
+:class:`~repro.store.base.StoreBackend` / :class:`~repro.store.base.WorkQueue`
+registered as the ``"http"`` backend — so
+``open_store("http://host:8787/campaign")`` drops into every existing
+``cache_path``/``--store`` seam with zero call-site changes.
+"""
+
+# Initialise the store package first: its trailing import of
+# repro.serve.client (the "http" backend registration) must not find
+# this package mid-init when callers import repro.serve directly.
+import repro.store  # noqa: F401
+
+from repro.serve.client import TOKEN_ENV, HttpStore, default_client_id
+from repro.serve.server import CampaignServer
+
+__all__ = [
+    "CampaignServer",
+    "HttpStore",
+    "TOKEN_ENV",
+    "default_client_id",
+]

@@ -1,0 +1,334 @@
+"""``HttpStore``: the campaign server's client, a drop-in store backend.
+
+Registered under :data:`repro.registry.STORES` as ``"http"``, so
+``open_store("http://host:8787/campaign")`` — and therefore every
+``cache_path``/``--store`` seam in the package (:class:`FitnessCache`,
+:class:`SweepScheduler`, :class:`Worker`, ``run_sweep``, ``store
+status``) — speaks to a remote :class:`~repro.serve.server.CampaignServer`
+with zero call-site changes. Every
+:class:`~repro.store.base.StoreBackend` / :class:`~repro.store.base.WorkQueue`
+method maps to one JSON POST against the server's ``/api/…`` endpoints;
+the server serialises them onto its backing store (SQLite by default),
+so N machines of workers share one campaign exactly like N local
+processes share one SQLite file.
+
+Auth is a bearer token (``token=`` or the :data:`TOKEN_ENV` environment
+variable — worker processes inherit it across ``multiprocessing``
+spawns) plus a per-client identity sent as ``X-Worker-Id`` on every
+request, which the server's dashboard surfaces as last-seen/requests per
+worker. Failures never leak urllib tracebacks: an unreachable or
+unauthorized server raises :class:`~repro.errors.StoreError` with a
+one-line actionable message (host, port, auth hint) that the CLI maps to
+exit code 2.
+
+This module is imported during store-registry population, so it stays
+stdlib-only and import-cheap (no numpy, no server code).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.errors import StoreError
+from repro.registry import register_store
+from repro.store.base import ClaimedPoint, is_url
+
+#: environment variable carrying the campaign bearer token; read by
+#: every HttpStore that is not given an explicit ``token=``, so worker
+#: processes spawned by the scheduler inherit credentials for free.
+TOKEN_ENV = "AUTOLOCK_TOKEN"
+
+
+def default_client_id() -> str:
+    """A human-traceable identity for the server's per-worker ledger."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+@register_store("http")
+class HttpStore:
+    """Store backend + work queue proxied over a campaign server."""
+
+    #: the server fronts a genuinely concurrent medium: a miss in a local
+    #: snapshot must fall through to it, exactly like direct SQLite.
+    read_through = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        token: str | None = None,
+        timeout_s: float = 30.0,
+        client_id: str | None = None,
+    ) -> None:
+        url = str(path)
+        if not is_url(url):
+            raise StoreError(
+                f"http store path must be an http(s) URL, got {url!r} "
+                "(e.g. http://host:8787/campaign)"
+            )
+        self.url = url.rstrip("/")
+        self.token = token if token is not None else os.environ.get(TOKEN_ENV, "")
+        self.timeout_s = timeout_s
+        self.client_id = client_id or default_client_id()
+        parsed = urllib.parse.urlsplit(self.url)
+        self._netloc = parsed.netloc or self.url
+
+    # ``FitnessCache`` and the CLI print/compare this like a file path.
+    @property
+    def path(self) -> str:
+        return self.url
+
+    # -- transport ------------------------------------------------------
+    def _request(
+        self, route: str, payload: dict | None, *, method: str = "POST",
+        timeout_s: float | None = None, stream: bool = False,
+    ):
+        data = None
+        headers = {
+            "Authorization": f"Bearer {self.token}",
+            "X-Worker-Id": self.client_id,
+        }
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{route}", data=data, headers=headers, method=method
+        )
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=timeout_s or self.timeout_s
+            )
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                body = json.loads(exc.read().decode("utf-8", "replace"))
+                detail = body.get("error", "")
+            except Exception:  # noqa: BLE001 - body is best-effort context
+                pass
+            if exc.code in (401, 403):
+                raise StoreError(
+                    f"campaign server at {self._netloc} rejected credentials "
+                    f"({exc.code}): pass --token / set {TOKEN_ENV} to the "
+                    "token `autolock serve` printed"
+                ) from None
+            raise StoreError(
+                f"campaign server at {self._netloc} refused "
+                f"{route} ({exc.code}): {detail or exc.reason}"
+            ) from None
+        except (urllib.error.URLError, OSError) as exc:
+            reason = getattr(exc, "reason", exc)
+            raise StoreError(
+                f"cannot reach campaign server at {self._netloc}: {reason} — "
+                "is `autolock serve` running on that host/port?"
+            ) from None
+        if stream:
+            return response
+        with response:
+            body = response.read()
+        return json.loads(body) if body else None
+
+    def _call(self, op: str, payload: dict | None = None) -> Any:
+        reply = self._request(f"/api/{op}", payload or {})
+        return None if reply is None else reply.get("result")
+
+    # -- StoreBackend ---------------------------------------------------
+    def load_namespace(self, namespace: str) -> dict[str, Any]:
+        return self._call("kv/load", {"namespace": namespace}) or {}
+
+    def get(self, namespace: str, key: str) -> Any | None:
+        return self._call("kv/get", {"namespace": namespace, "key": key})
+
+    def put_many(self, namespace: str, entries: Mapping[str, Any]) -> None:
+        if not entries:
+            return
+        self._call("kv/put", {"namespace": namespace, "entries": dict(entries)})
+
+    def wipe_namespace(self, namespace: str) -> None:
+        self._call("kv/wipe", {"namespace": namespace})
+
+    def delete_many(self, namespace: str, keys: list[str]) -> int:
+        if not keys:
+            return 0
+        return int(
+            self._call("kv/delete", {"namespace": namespace, "keys": list(keys)})
+        )
+
+    def vacuum(self) -> None:
+        self._call("kv/vacuum")
+
+    def disk_usage(self) -> int:
+        return int(self._call("kv/disk-usage"))
+
+    def namespaces(self) -> list[str]:
+        return list(self._call("kv/namespaces") or [])
+
+    def status(self) -> dict[str, Any]:
+        return self._call("kv/status")
+
+    def entry_updated_at(self, namespace: str, key: str) -> float | None:
+        """Last write time of one entry (zero-recompute assertions)."""
+        return self._call(
+            "kv/entry-updated-at", {"namespace": namespace, "key": key}
+        )
+
+    def close(self) -> None:
+        """Connections are per-request; nothing to release."""
+
+    # -- WorkQueue ------------------------------------------------------
+    def enqueue_points(
+        self, sweep_id: str, points: Mapping[str, Mapping[str, Any]],
+        *, reset: bool = False,
+    ) -> int:
+        return int(
+            self._call(
+                "queue/enqueue",
+                {
+                    "sweep_id": sweep_id,
+                    "points": {k: dict(v) for k, v in points.items()},
+                    "reset": reset,
+                },
+            )
+        )
+
+    def claim(
+        self, sweep_id: str, worker_id: str, ttl: float
+    ) -> ClaimedPoint | None:
+        row = self._call(
+            "queue/claim",
+            {"sweep_id": sweep_id, "worker_id": worker_id, "ttl": ttl},
+        )
+        return ClaimedPoint(**row) if row is not None else None
+
+    def heartbeat(
+        self, sweep_id: str, fingerprint: str, worker_id: str, ttl: float
+    ) -> bool:
+        return bool(
+            self._call(
+                "queue/heartbeat",
+                {
+                    "sweep_id": sweep_id,
+                    "fingerprint": fingerprint,
+                    "worker_id": worker_id,
+                    "ttl": ttl,
+                },
+            )
+        )
+
+    def complete(
+        self, sweep_id: str, fingerprint: str, worker_id: str,
+        *, fresh_evaluations: int = 0, require_lease: bool = True,
+    ) -> bool:
+        """Report a finished point; the server *always* verifies the lease.
+
+        Returns ``False`` when the server rejected the completion (this
+        worker's lease expired and a sibling owns the point now) — the
+        record in the kv namespaces is untouched either way.
+        """
+        return bool(
+            self._call(
+                "queue/complete",
+                {
+                    "sweep_id": sweep_id,
+                    "fingerprint": fingerprint,
+                    "worker_id": worker_id,
+                    "fresh_evaluations": fresh_evaluations,
+                },
+            )
+        )
+
+    def release_worker(self, sweep_id: str, worker_id: str) -> int:
+        return int(
+            self._call(
+                "queue/release-worker",
+                {"sweep_id": sweep_id, "worker_id": worker_id},
+            )
+        )
+
+    def fail(
+        self, sweep_id: str, fingerprint: str, worker_id: str, error: str,
+        *, max_attempts: int = 3,
+    ) -> str:
+        return self._call(
+            "queue/fail",
+            {
+                "sweep_id": sweep_id,
+                "fingerprint": fingerprint,
+                "worker_id": worker_id,
+                "error": error,
+                "max_attempts": max_attempts,
+            },
+        )
+
+    def requeue_expired(self, sweep_id: str) -> int:
+        return int(self._call("queue/requeue-expired", {"sweep_id": sweep_id}))
+
+    def retry_failed(self, sweep_id: str) -> int:
+        return int(self._call("queue/retry-failed", {"sweep_id": sweep_id}))
+
+    def queue_counts(self, sweep_id: str) -> dict[str, int]:
+        return self._call("queue/counts", {"sweep_id": sweep_id}) or {}
+
+    def mark_done(self, sweep_id: str, fingerprints: list[str]) -> int:
+        return int(
+            self._call(
+                "queue/mark-done",
+                {"sweep_id": sweep_id, "fingerprints": list(fingerprints)},
+            )
+        )
+
+    def points(self, sweep_id: str) -> list[dict[str, Any]]:
+        return list(self._call("queue/points", {"sweep_id": sweep_id}) or [])
+
+    # -- streaming results ---------------------------------------------
+    def stream_results(
+        self, *, offset: int = 0, follow: bool = True,
+        timeout_s: float | None = None,
+    ) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Tail the campaign's ``results.jsonl`` over chunked HTTP.
+
+        Yields ``(next_offset, record)`` pairs: every line already in the
+        log from byte ``offset`` on, then — with ``follow=True`` — new
+        records live as workers complete points. ``next_offset`` is the
+        byte position *after* the yielded line; pass it back as
+        ``offset`` to resume a dropped tail without replaying. The
+        stream ends when the server shuts down, the caller breaks out,
+        or (``follow=True``) no record arrives within ``timeout_s``.
+        """
+        response = self._request(
+            f"/stream/results?offset={int(offset)}&follow={int(follow)}",
+            None,
+            method="GET",
+            timeout_s=timeout_s,
+            stream=True,
+        )
+        position = int(offset)
+        try:
+            with response:
+                for raw in response:
+                    position += len(raw)
+                    line = raw.decode("utf-8").strip()
+                    if line:
+                        yield position, json.loads(line)
+        except _STREAM_END_ERRORS:
+            return  # idle past timeout_s or server went away mid-tail
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HttpStore({self.url!r})"
+
+
+#: what a dying or idle chunked stream surfaces mid-read; the tail
+#: generator treats these as end-of-stream, not errors.
+_STREAM_END_ERRORS = (
+    TimeoutError,
+    socket.timeout,
+    http.client.IncompleteRead,
+    ConnectionError,
+)

@@ -1,0 +1,542 @@
+"""The campaign server: one store, many machines, live visibility.
+
+:class:`CampaignServer` fronts an ordinary queue-capable store (SQLite
+by default) over plain stdlib HTTP (``ThreadingHTTPServer`` + JSON), so
+any machine that can reach the port can join a sweep campaign — no
+shared filesystem, no extra dependencies. It exposes:
+
+* ``POST /api/kv/<op>`` — the :class:`~repro.store.base.StoreBackend`
+  surface (load/get/put/delete/wipe/namespaces/vacuum/disk-usage/
+  status/entry-updated-at);
+* ``POST /api/queue/<op>`` — the :class:`~repro.store.base.WorkQueue`
+  surface (enqueue/claim/heartbeat/complete/fail/release-worker/
+  requeue-expired/retry-failed/counts/mark-done/points). ``complete``
+  always verifies the lease (``require_lease=True`` on the backing
+  store): a zombie worker whose lease expired gets a clean rejection
+  instead of scribbling over a sibling's row;
+* ``GET /stream/results`` — a chunked, byte-offset-resumable tail of the
+  campaign's ``results.jsonl``: every experiment record the server has
+  seen land in the experiment namespace, replayed from ``?offset=N`` and
+  then streamed live while workers complete points;
+* ``GET /status`` — the live dashboard: JSON with ``?format=json``,
+  otherwise a plain auto-refreshing HTML view of per-sweep
+  pending/leased/done/failed counts, per-worker lease ages and
+  last-seen identities, and completion throughput.
+
+Every request requires the campaign bearer token (``Authorization:
+Bearer <token>``; the dashboard and stream also accept ``?token=`` so a
+browser can watch). All store access is serialised through one lock —
+the HTTP layer is many-threaded, the backing store sees a single
+writer at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hmac
+import html
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro._version import __version__
+from repro.errors import ReproError, StoreError
+from repro.store.base import (
+    STATUS_CLAIMED,
+    ensure_queue,
+    is_url,
+    open_store,
+)
+
+#: namespace whose puts are mirrored into the results log. Kept as a
+#: literal (= ``repro.api.runner.EXPERIMENT_NAMESPACE``) so the server
+#: module never imports the heavy experiment stack.
+RESULTS_NAMESPACE = "experiment"
+
+#: how many recent completion timestamps feed the throughput readout.
+_THROUGHPUT_WINDOW_S = 300.0
+
+
+class CampaignServer:
+    """Serve one store's kv + work queue + results stream over HTTP."""
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        *,
+        token: str,
+        backend: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        results_path: str | Path | None = None,
+    ) -> None:
+        if not token:
+            raise StoreError(
+                "a campaign server needs a non-empty bearer token; pass "
+                "--token or generate one (`autolock serve` does this for you)"
+            )
+        if is_url(store_path):
+            raise StoreError(
+                "a campaign server fronts a *local* store; chaining it onto "
+                f"another URL ({store_path}) would just add a hop — point "
+                "workers at the existing server instead"
+            )
+        self.token = token
+        self.store_path = str(store_path)
+        self.store = open_store(store_path, backend)
+        #: one big lock: the HTTP layer is many-threaded, the backing
+        #: store sees exactly one writer at a time.
+        self._store_lock = threading.RLock()
+        self.results_path = Path(
+            results_path
+            if results_path is not None
+            else f"{self.store_path}.results.jsonl"
+        )
+        self.results_path.parent.mkdir(parents=True, exist_ok=True)
+        self.results_path.touch(exist_ok=True)
+        self._results_cond = threading.Condition()
+        self._shutting_down = threading.Event()
+        #: per-identity ledger (X-Worker-Id header): last_seen + requests.
+        self._clients: dict[str, dict[str, float | int]] = {}
+        #: recent completion timestamps (throughput readout).
+        self._completions: deque[float] = deque()
+        self.started_at = time.time()
+        self._httpd = _CampaignHTTPServer((host, port), _CampaignHandler)
+        self._httpd.campaign = self
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "CampaignServer":
+        """Serve from a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``autolock serve`` verb)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._shutting_down.set()
+        with self._results_cond:
+            self._results_cond.notify_all()  # wake tailing streams
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._store_lock:
+            self.store.close()
+
+    def __enter__(self) -> "CampaignServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request-side helpers (called from handler threads) -------------
+    def check_token(self, presented: str | None) -> bool:
+        return presented is not None and hmac.compare_digest(
+            presented, self.token
+        )
+
+    def note_client(self, worker_id: str | None) -> None:
+        if not worker_id:
+            return
+        with self._store_lock:
+            entry = self._clients.setdefault(
+                worker_id, {"first_seen": time.time(), "requests": 0}
+            )
+            entry["last_seen"] = time.time()
+            entry["requests"] = int(entry["requests"]) + 1
+
+    def kv_op(self, op: str, payload: dict[str, Any]) -> Any:
+        with self._store_lock:
+            store = self.store
+            if op == "load":
+                return store.load_namespace(payload["namespace"])
+            if op == "get":
+                return store.get(payload["namespace"], payload["key"])
+            if op == "put":
+                return self._put_many(
+                    payload["namespace"], payload["entries"]
+                )
+            if op == "delete":
+                return store.delete_many(
+                    payload["namespace"], list(payload["keys"])
+                )
+            if op == "wipe":
+                return store.wipe_namespace(payload["namespace"])
+            if op == "namespaces":
+                return store.namespaces()
+            if op == "vacuum":
+                return store.vacuum()
+            if op == "disk-usage":
+                return store.disk_usage()
+            if op == "entry-updated-at":
+                probe = getattr(store, "entry_updated_at", None)
+                if probe is None:
+                    return None
+                return probe(payload["namespace"], payload["key"])
+            if op == "status":
+                return self.status()
+        raise KeyError(op)
+
+    def queue_op(self, op: str, payload: dict[str, Any]) -> Any:
+        with self._store_lock:
+            queue = ensure_queue(self.store)
+            if op == "enqueue":
+                return queue.enqueue_points(
+                    payload["sweep_id"],
+                    payload["points"],
+                    reset=bool(payload.get("reset", False)),
+                )
+            if op == "claim":
+                point = queue.claim(
+                    payload["sweep_id"],
+                    payload["worker_id"],
+                    float(payload["ttl"]),
+                )
+                return None if point is None else dataclasses.asdict(point)
+            if op == "heartbeat":
+                return queue.heartbeat(
+                    payload["sweep_id"],
+                    payload["fingerprint"],
+                    payload["worker_id"],
+                    float(payload["ttl"]),
+                )
+            if op == "complete":
+                done = queue.complete(
+                    payload["sweep_id"],
+                    payload["fingerprint"],
+                    payload["worker_id"],
+                    fresh_evaluations=int(
+                        payload.get("fresh_evaluations", 0)
+                    ),
+                    require_lease=True,
+                )
+                if done:
+                    now = time.time()
+                    self._completions.append(now)
+                    while (
+                        self._completions
+                        and self._completions[0] < now - _THROUGHPUT_WINDOW_S
+                    ):
+                        self._completions.popleft()
+                return done
+            if op == "fail":
+                return queue.fail(
+                    payload["sweep_id"],
+                    payload["fingerprint"],
+                    payload["worker_id"],
+                    payload["error"],
+                    max_attempts=int(payload.get("max_attempts", 3)),
+                )
+            if op == "release-worker":
+                return queue.release_worker(
+                    payload["sweep_id"], payload["worker_id"]
+                )
+            if op == "requeue-expired":
+                return queue.requeue_expired(payload["sweep_id"])
+            if op == "retry-failed":
+                return queue.retry_failed(payload["sweep_id"])
+            if op == "counts":
+                return queue.queue_counts(payload["sweep_id"])
+            if op == "mark-done":
+                return queue.mark_done(
+                    payload["sweep_id"], list(payload["fingerprints"])
+                )
+            if op == "points":
+                return queue.points(payload["sweep_id"])
+        raise KeyError(op)
+
+    # -- results log ----------------------------------------------------
+    def _put_many(self, namespace: str, entries: dict[str, Any]) -> None:
+        """Upsert kv entries, mirroring *new* experiment records into the
+        results log (stream tailers see them the moment they land)."""
+        fresh_records: list[Any] = []
+        if namespace == RESULTS_NAMESPACE:
+            fresh_records = [
+                value
+                for key, value in entries.items()
+                if self.store.get(namespace, key) is None
+            ]
+        self.store.put_many(namespace, entries)
+        if fresh_records:
+            with self._results_cond:
+                with self.results_path.open("a", encoding="utf-8") as fh:
+                    for record in fresh_records:
+                        fh.write(json.dumps(record, sort_keys=True) + "\n")
+                self._results_cond.notify_all()
+
+    # -- status / dashboard --------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """The backing store's status plus the server's own vitals."""
+        backing = self.store.status()
+        now = time.time()
+        recent = [t for t in self._completions if t >= now - 60.0]
+        leases = []
+        sweeps = backing.get("sweeps", {})
+        queue = self.store if hasattr(self.store, "points") else None
+        for sweep_id, counts in sweeps.items():
+            if queue is None or not counts.get(STATUS_CLAIMED):
+                continue
+            for point in queue.points(sweep_id):
+                if point["status"] != STATUS_CLAIMED:
+                    continue
+                leases.append(
+                    {
+                        "sweep_id": sweep_id,
+                        "fingerprint": point["fingerprint"],
+                        "worker_id": point["worker_id"],
+                        "attempts": point["attempts"],
+                        "expires_in_s": round(
+                            (point["lease_expires"] or now) - now, 2
+                        ),
+                    }
+                )
+        backing["server"] = {
+            "url": self.url,
+            "version": __version__,
+            "uptime_s": round(now - self.started_at, 1),
+            "results_path": str(self.results_path),
+            "results_bytes": self.results_path.stat().st_size,
+            "auth": "bearer",
+            "workers": {
+                worker_id: {
+                    "last_seen_s_ago": round(
+                        now - float(entry["last_seen"]), 1
+                    ),
+                    "requests": int(entry["requests"]),
+                }
+                for worker_id, entry in sorted(self._clients.items())
+            },
+            "leases": leases,
+            "throughput": {
+                "completed_last_60s": len(recent),
+                "completed_per_min": len(recent),
+                "completed_tracked": len(self._completions),
+            },
+        }
+        return backing
+
+    def dashboard_html(self) -> str:
+        """The auto-refreshing plain-HTML view of :meth:`status`."""
+        with self._store_lock:
+            status = self.status()
+        server = status["server"]
+        sweeps = status.get("sweeps", {})
+
+        def esc(value: Any) -> str:
+            return html.escape(str(value))
+
+        sweep_rows = "".join(
+            "<tr><td><code>{sid}</code></td><td>{p}</td><td>{c}</td>"
+            "<td>{d}</td><td>{f}</td></tr>".format(
+                sid=esc(sweep_id),
+                p=counts.get("pending", 0),
+                c=counts.get("claimed", 0),
+                d=counts.get("done", 0),
+                f=counts.get("failed", 0),
+            )
+            for sweep_id, counts in sorted(sweeps.items())
+        ) or "<tr><td colspan=5>(no sweeps enqueued)</td></tr>"
+        lease_rows = "".join(
+            "<tr><td>{w}</td><td><code>{fp}</code></td><td>{a}</td>"
+            "<td>{e}s</td></tr>".format(
+                w=esc(lease["worker_id"]),
+                fp=esc(lease["fingerprint"][:16]),
+                a=lease["attempts"],
+                e=lease["expires_in_s"],
+            )
+            for lease in server["leases"]
+        ) or "<tr><td colspan=4>(no live leases)</td></tr>"
+        worker_rows = "".join(
+            "<tr><td>{w}</td><td>{seen}s ago</td><td>{n}</td></tr>".format(
+                w=esc(worker_id), seen=row["last_seen_s_ago"],
+                n=row["requests"],
+            )
+            for worker_id, row in server["workers"].items()
+        ) or "<tr><td colspan=3>(no workers seen yet)</td></tr>"
+        return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>autolock campaign — {esc(status.get('path', ''))}</title>
+<style>
+ body {{ font-family: monospace; margin: 1.5em; }}
+ table {{ border-collapse: collapse; margin: 0.5em 0 1.5em; }}
+ td, th {{ border: 1px solid #999; padding: 0.25em 0.75em; text-align: left; }}
+ h2 {{ margin-bottom: 0; }}
+</style></head><body>
+<h1>autolock campaign server</h1>
+<p>store <code>{esc(status.get('path', ''))}</code>
+ ({esc(status.get('backend', '?'))}) &middot; {status.get('entries', 0)}
+ kv entries &middot; up {server['uptime_s']}s &middot;
+ throughput {server['throughput']['completed_last_60s']}/min &middot;
+ results log {server['results_bytes']} bytes</p>
+<h2>sweeps</h2>
+<table><tr><th>sweep</th><th>pending</th><th>leased</th><th>done</th>
+<th>failed</th></tr>{sweep_rows}</table>
+<h2>live leases</h2>
+<table><tr><th>worker</th><th>point</th><th>attempts</th>
+<th>expires in</th></tr>{lease_rows}</table>
+<h2>workers seen</h2>
+<table><tr><th>identity</th><th>last seen</th><th>requests</th></tr>
+{worker_rows}</table>
+</body></html>
+"""
+
+
+class _CampaignHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    campaign: CampaignServer
+
+
+class _CampaignHandler(BaseHTTPRequestHandler):
+    server_version = "autolock-campaign"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def campaign(self) -> CampaignServer:
+        return self.server.campaign  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # campaign traffic is high-rate; the dashboard is the log
+
+    def _send_json(self, code: int, payload: Any) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _authorized(self, query: dict[str, list[str]]) -> bool:
+        header = self.headers.get("Authorization", "")
+        token = None
+        if header.startswith("Bearer "):
+            token = header[len("Bearer "):]
+        elif query.get("token"):
+            token = query["token"][0]
+        if self.campaign.check_token(token):
+            self.campaign.note_client(self.headers.get("X-Worker-Id"))
+            return True
+        self.send_response(401)
+        body = json.dumps(
+            {"error": "missing or invalid bearer token"}
+        ).encode("utf-8")
+        self.send_header("WWW-Authenticate", "Bearer")
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return False
+
+    @staticmethod
+    def _route(path: str) -> str:
+        """The canonical route, ignoring any cosmetic base path — so
+        ``open_store("http://host:8787/campaign")`` works unchanged."""
+        for marker in ("/api/", "/stream/", "/status"):
+            index = path.find(marker)
+            if index >= 0:
+                return path[index:]
+        return path
+
+    # -- verbs ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        parts = urlsplit(self.path)
+        query = parse_qs(parts.query)
+        if not self._authorized(query):
+            return
+        route = self._route(parts.path)
+        if not route.startswith("/api/"):
+            self._send_json(404, {"error": f"unknown endpoint {route!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            group, _, op = route[len("/api/"):].partition("/")
+            if group == "kv":
+                result = self.campaign.kv_op(op, payload)
+            elif group == "queue":
+                result = self.campaign.queue_op(op, payload)
+            else:
+                raise KeyError(group)
+        except KeyError as exc:
+            self._send_json(404, {"error": f"unknown operation: {exc}"})
+            return
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"bad request: {exc}"})
+            return
+        except ReproError as exc:
+            self._send_json(409, {"error": str(exc)})
+            return
+        self._send_json(200, {"result": result})
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        parts = urlsplit(self.path)
+        query = parse_qs(parts.query)
+        if not self._authorized(query):
+            return
+        route = self._route(parts.path)
+        if route.startswith("/status"):
+            if query.get("format", [""])[0] == "json":
+                with self.campaign._store_lock:
+                    self._send_json(200, {"result": self.campaign.status()})
+            else:
+                body = self.campaign.dashboard_html().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "text/html; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            return
+        if route.startswith("/stream/results"):
+            self._stream_results(query)
+            return
+        self._send_json(404, {"error": f"unknown endpoint {route!r}"})
+
+    # -- chunked results tail ------------------------------------------
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()
+
+    def _stream_results(self, query: dict[str, list[str]]) -> None:
+        campaign = self.campaign
+        offset = int(query.get("offset", ["0"])[0])
+        follow = bool(int(query.get("follow", ["1"])[0]))
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            with campaign.results_path.open("rb") as fh:
+                fh.seek(offset)
+                while not campaign._shutting_down.is_set():
+                    data = fh.read()
+                    if data:
+                        self._write_chunk(data)
+                    elif not follow:
+                        break
+                    else:
+                        with campaign._results_cond:
+                            campaign._results_cond.wait(timeout=0.5)
+            self._write_chunk(b"")  # terminating zero-length chunk
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # tailing client went away; nothing to clean up

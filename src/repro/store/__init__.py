@@ -16,11 +16,17 @@ from repro.store.base import (
     WorkQueue,
     ensure_queue,
     infer_backend,
+    is_url,
     open_store,
+    url_scheme,
 )
 from repro.store.gc import gc_store
 from repro.store.json_store import JSONStore
 from repro.store.sqlite_store import SQLiteStore
+
+# Imported last: the HttpStore client registers the "http" backend and
+# itself imports repro.store.base, so it must come after base is bound.
+from repro.serve.client import HttpStore  # noqa: E402
 
 __all__ = [
     "gc_store",
@@ -29,11 +35,14 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_PENDING",
     "ClaimedPoint",
+    "HttpStore",
     "JSONStore",
     "SQLiteStore",
     "StoreBackend",
     "WorkQueue",
     "ensure_queue",
     "infer_backend",
+    "is_url",
     "open_store",
+    "url_scheme",
 ]

@@ -13,13 +13,16 @@ backends implement the protocol:
   only backend carrying the lease-based work queue.
 
 Backends are registered under :data:`repro.registry.STORES` (``"json"``,
-``"sqlite"``); :func:`open_store` resolves a name or infers one from the
-path suffix, so ``--store sqlite`` and ``cache.sqlite`` mean the same
-thing.
+``"sqlite"``, ``"http"``); :func:`open_store` resolves a name or infers
+one from the path — a URL scheme first (``http://host:8787/campaign``
+selects the :class:`~repro.serve.client.HttpStore` client), then the
+path suffix — so ``--store sqlite`` and ``cache.sqlite`` mean the same
+thing and a campaign URL drops into every ``cache_path`` seam.
 """
 
 from __future__ import annotations
 
+import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -31,6 +34,27 @@ from repro.registry import STORES
 #: path suffixes that select the SQLite backend when no explicit backend
 #: name is given.
 SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: RFC 3986 scheme followed by ``://`` — a store *URL* rather than a
+#: filesystem path. (``C:\cache.db`` has no ``//``, so Windows drive
+#: letters never match.)
+_URL_SCHEME_RE = re.compile(r"^([A-Za-z][A-Za-z0-9+.-]*)://")
+
+
+def url_scheme(path: str | Path) -> str | None:
+    """The lowercase URL scheme of ``path``, or ``None`` for file paths."""
+    match = _URL_SCHEME_RE.match(str(path))
+    return match.group(1).lower() if match else None
+
+
+def is_url(path: str | Path) -> bool:
+    """Whether ``path`` is a scheme-qualified URL rather than a file path.
+
+    URL store paths must never be fed through :class:`pathlib.Path`
+    (which collapses ``//``) or filesystem existence checks — callers
+    branch on this before doing either.
+    """
+    return url_scheme(path) is not None
 
 #: work-queue point states (the ``sweep_points`` table's ``status``).
 STATUS_PENDING = "pending"
@@ -146,9 +170,13 @@ class WorkQueue(Protocol):
 
     def complete(
         self, sweep_id: str, fingerprint: str, worker_id: str,
-        *, fresh_evaluations: int = 0,
-    ) -> None:
-        """Mark a point done (idempotent), recording what it cost."""
+        *, fresh_evaluations: int = 0, require_lease: bool = False,
+    ) -> bool:
+        """Mark a point done (idempotent), recording what it cost.
+
+        Returns whether the point is now done. ``require_lease=True``
+        rejects (returns ``False``) a completion from a worker that no
+        longer holds the claim instead of overwriting the row."""
         ...  # pragma: no cover - protocol
 
     def release_worker(self, sweep_id: str, worker_id: str) -> int:
@@ -188,7 +216,18 @@ class WorkQueue(Protocol):
 
 
 def infer_backend(path: str | Path) -> str:
-    """The backend name implied by a store path's suffix."""
+    """The backend name implied by a store path.
+
+    URL schemes are recognised *before* suffix inference — a suffix probe
+    on ``http://host:8787/campaign.db`` must not mis-route a campaign
+    server to the SQLite backend. ``http``/``https`` both select the
+    registered ``"http"`` client; any other scheme resolves through the
+    registry verbatim, so an unknown ``redis://…`` fails with the same
+    registry listing as an unknown ``--store`` name.
+    """
+    scheme = url_scheme(path)
+    if scheme is not None:
+        return "http" if scheme in ("http", "https") else scheme
     suffix = Path(path).suffix.lower()
     return "sqlite" if suffix in SQLITE_SUFFIXES else "json"
 
@@ -197,8 +236,13 @@ def open_store(path: str | Path, backend: str | None = None) -> StoreBackend:
     """Open the store at ``path`` with an explicit or inferred backend.
 
     ``backend`` is a :data:`repro.registry.STORES` name (``"json"``,
-    ``"sqlite"``, or any plugin); ``None`` infers from the path suffix so
-    existing ``--cache foo.json`` usage keeps its exact behaviour.
+    ``"sqlite"``, ``"http"``, or any plugin); ``None`` infers from the
+    path — URL scheme first, then suffix — so existing ``--cache
+    foo.json`` usage keeps its exact behaviour and
+    ``open_store("http://host:8787/campaign")`` reaches a campaign
+    server. An unrecognised URL scheme raises
+    :class:`~repro.errors.RegistryError` listing the registered
+    backends, the same contract as an unknown ``--store`` name.
     """
     name = backend if backend is not None else infer_backend(path)
     store = STORES.create(name, path=path)

@@ -411,21 +411,45 @@ class SQLiteStore:
 
     def complete(
         self, sweep_id: str, fingerprint: str, worker_id: str,
-        *, fresh_evaluations: int = 0,
-    ) -> None:
-        # Unconditional on the lease holder: the experiment record is
-        # already persisted, so even a worker whose lease was stolen
-        # mid-run may mark the point done — both leases computed the same
-        # deterministic record.
-        self._transaction(
-            lambda conn: conn.execute(
+        *, fresh_evaluations: int = 0, require_lease: bool = False,
+    ) -> bool:
+        """Mark a point done; returns whether the point is now done.
+
+        Default (local workers): unconditional on the lease holder — the
+        experiment record is already persisted, so even a worker whose
+        lease was stolen mid-run may mark the point done; both leases
+        computed the same deterministic record. ``require_lease=True``
+        (the campaign server's complete endpoint) instead *rejects* a
+        completion from a worker that no longer holds the claim — a
+        zombie worker's late complete must not scribble over a row a
+        sibling has since reclaimed. An already-``done`` point stays an
+        idempotent success either way.
+        """
+
+        def work(conn: sqlite3.Connection) -> bool:
+            if require_lease:
+                row = conn.execute(
+                    "SELECT status, worker_id FROM sweep_points "
+                    "WHERE sweep_id = ? AND fingerprint = ?",
+                    (sweep_id, fingerprint),
+                ).fetchone()
+                if row is None:
+                    return False
+                status, holder = row
+                if status == STATUS_DONE:
+                    return True  # idempotent duplicate complete
+                if status != STATUS_CLAIMED or holder != worker_id:
+                    return False  # lease lost: requeued or reclaimed
+            conn.execute(
                 "UPDATE sweep_points SET status = ?, worker_id = ?, "
                 "completed_at = ?, error = NULL, fresh_evaluations = ? "
                 "WHERE sweep_id = ? AND fingerprint = ?",
                 (STATUS_DONE, worker_id, time.time(), fresh_evaluations,
                  sweep_id, fingerprint),
             )
-        )
+            return True
+
+        return self._transaction(work, immediate=require_lease)
 
     def release_worker(self, sweep_id: str, worker_id: str) -> int:
         """Requeue every point still claimed by ``worker_id`` (the driver

@@ -41,6 +41,7 @@ BENCH_ENTRY_POINTS = [
     ("bench_e10_functional", "run_functional"),
     ("bench_e11_heuristic_comparison", "run_comparison"),
     ("bench_sweep_throughput", "run_throughput"),
+    ("bench_campaign_service", "run_campaign_service"),
     ("bench_async_loop", "run_async_loop"),
     ("bench_delta_relock", "run_delta_relock"),
     ("bench_alphabet_ablation", "run_alphabet_ablation"),
