@@ -178,6 +178,59 @@ def run_async_loop(out_json: str | None = None) -> dict:
     return report
 
 
+def run_disabled_telemetry_overhead(out_json: str | None = None) -> dict:
+    """Pin the cost of the disabled telemetry fast path at < 2%.
+
+    Spans are off by default; every instrumented call site then pays one
+    module-global check returning a shared null object. This measures
+    that per-call cost directly, runs one smoke-scale sync loop for a
+    wall-clock baseline, and asserts that even a grossly padded span
+    count (16 per fresh evaluation — the real loop emits a handful)
+    stays under 2% of the loop's wall time.
+    """
+    from repro.obs import trace as obs_trace
+
+    assert not obs_trace.enabled(), "telemetry must be off by default"
+    assert obs_trace.span("a") is obs_trace.span("b"), (
+        "disabled span() must return the shared null object, not allocate"
+    )
+
+    calls = 100_000
+    started = time.perf_counter()
+    for _ in range(calls):
+        with obs_trace.span("noop"):
+            pass
+    per_span_s = (time.perf_counter() - started) / calls
+
+    scale = _scale()
+    population = scaled(_POPULATION, minimum=4)
+    generations = scaled(_GENERATIONS, minimum=2)
+    circuit = load_circuit(_CIRCUIT)
+    _result, wall_s, dispatched = _run_mode(
+        circuit, False, population=population, generations=generations,
+        workers=_WORKERS, base_s=_BASE_S * min(1.0, scale),
+        slow_s=_SLOW_S * min(1.0, scale),
+    )
+
+    padded_spans = 16 * max(1, dispatched)
+    overhead_ratio = (padded_spans * per_span_s) / wall_s if wall_s else 0.0
+    report = {
+        "per_span_s": per_span_s,
+        "loop_wall_s": wall_s,
+        "fresh_evaluations": dispatched,
+        "padded_spans": padded_spans,
+        "overhead_ratio": overhead_ratio,
+        "budget_ratio": 0.02,
+    }
+    assert overhead_ratio < 0.02, (
+        f"disabled-telemetry fast path costs {overhead_ratio:.2%} of a "
+        f"smoke-scale loop (budget 2%): {report}"
+    )
+    if out_json:
+        Path(out_json).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def test_async_loop_throughput(benchmark):
     report = benchmark.pedantic(run_async_loop, rounds=1, iterations=1)
     print_header(

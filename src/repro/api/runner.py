@@ -38,7 +38,20 @@ from repro.ec.evaluator import AsyncEvaluator, Evaluator, SerialEvaluator
 from repro.ec.fitness import FitnessCache
 from repro.errors import SpecError
 from repro.locking.base import LockedCircuit
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.registry import METRICS, create_attack, create_engine, create_scheme
+
+_RUNS = obs_metrics.METRICS.counter(
+    "autolock_experiments_total",
+    "Experiments executed, by kind and cache outcome",
+    labels=("kind", "outcome"),
+)
+_RUN_SECONDS = obs_metrics.METRICS.histogram(
+    "autolock_experiment_seconds",
+    "End-to-end experiment wall time",
+    labels=("kind",),
+)
 
 #: cache namespace holding finished experiment records, keyed by spec
 #: fingerprint — shares the on-disk file with the per-genotype fitness
@@ -189,9 +202,35 @@ def run_experiment(
     injects a shared experiment-record memo; by default one is opened on
     ``spec.cache_path`` when set. ``out_dir`` additionally writes
     ``results.jsonl`` + ``manifest.json`` artifacts there.
+
+    ``spec.trace`` (when set and no tracer is already active) opens a
+    span tracer for the duration of this run; sweeps and workers own the
+    tracer instead, so every point lands in one file per process.
     """
     spec.validate()
+    with obs_trace.tracing(spec.trace):
+        with obs_trace.span("experiment") as span:
+            if obs_trace.enabled():
+                span.set(
+                    fingerprint=spec.fingerprint(), circuit=spec.circuit,
+                    kind="engine" if spec.engine else "static",
+                    tag=spec.tag,
+                )
+            return _execute_experiment(
+                spec, evaluator=evaluator,
+                experiment_cache=experiment_cache, out_dir=out_dir,
+            )
+
+
+def _execute_experiment(
+    spec: ExperimentSpec,
+    *,
+    evaluator: Evaluator | None,
+    experiment_cache: FitnessCache | None,
+    out_dir: str | Path | None,
+) -> RunResult:
     started = time.perf_counter()
+    kind = "engine" if spec.engine else "static"
 
     memo = experiment_cache
     if memo is None and spec.cache_path is not None:
@@ -226,28 +265,36 @@ def run_experiment(
                 runtime_s=record["runtime_s"],
                 from_cache=True,
             )
+            _RUNS.inc(kind=kind, outcome="replayed")
+            _RUN_SECONDS.observe(result.runtime_s, kind=kind)
             _write_single_run_artifacts(result, out_dir)
             return result
 
-    circuit = load_circuit(spec.circuit)
+    with obs_trace.span("experiment.load", circuit=spec.circuit):
+        circuit = load_circuit(spec.circuit)
     attack_report: AttackReport | None = None
     outcome: EngineOutcome | None = None
     fresh = hits = 0
 
     if spec.engine is not None:
         adapter = create_engine(spec.engine)
-        outcome = adapter.run(spec, circuit, evaluator=evaluator)
+        with obs_trace.span("experiment.engine", engine=spec.engine):
+            outcome = adapter.run(spec, circuit, evaluator=evaluator)
         locked = outcome.locked
         fresh, hits = outcome.fresh_evaluations, outcome.cache_hits
     else:
         scheme = create_scheme(spec.scheme, **spec.scheme_params)
-        locked = scheme.lock(circuit, spec.key_length, seed_or_rng=spec.seed)
+        with obs_trace.span("experiment.lock", scheme=spec.scheme):
+            locked = scheme.lock(
+                circuit, spec.key_length, seed_or_rng=spec.seed
+            )
         if spec.attack is not None:
             attack = create_attack(spec.attack, **spec.attack_params)
             attack_seed = (
                 spec.attack_seed if spec.attack_seed is not None else spec.seed
             )
-            attack_report = attack.run(locked, seed_or_rng=attack_seed)
+            with obs_trace.span("experiment.attack", attack=spec.attack):
+                attack_report = attack.run(locked, seed_or_rng=attack_seed)
             fresh = 1
 
     metrics: dict[str, Any] = {}
@@ -257,43 +304,52 @@ def run_experiment(
                 f"engine {spec.engine!r} produced no locked design; "
                 f"cannot compute metrics {list(spec.metrics)}"
             )
-        for name in spec.metrics:
-            metric = METRICS.get(name)
-            metrics[name] = metric(
-                spec, circuit, locked, **spec.metric_params.get(name, {})
-            )
+        with obs_trace.span("experiment.metrics"):
+            for name in spec.metrics:
+                metric = METRICS.get(name)
+                metrics[name] = metric(
+                    spec, circuit, locked, **spec.metric_params.get(name, {})
+                )
 
-    runtime_s = time.perf_counter() - started
-    record: dict[str, Any] = {
-        "fingerprint": spec.fingerprint(),
-        "tag": spec.tag,
-        "kind": "engine" if spec.engine else "static",
-        # The resolved search-loop mode (None for static specs): recorded
-        # so artifacts say which pipeline produced an engine result.
-        "async_mode": spec.resolved_async_mode() if spec.engine else None,
-        "spec": spec.deterministic_dict(),
-        "attack": _attack_record(attack_report) if attack_report else None,
-        "engine": dict(outcome.record, engine=outcome.engine) if outcome else None,
-        "metrics": {name: json_safe(value) for name, value in metrics.items()},
-        "fresh_evaluations": fresh,
-        "cache_hits": hits,
-        "runtime_s": runtime_s,
-        "from_cache": False,
-    }
-    result = RunResult(
-        spec=spec,
-        record=record,
-        locked=locked,
-        attack_report=attack_report,
-        engine_outcome=outcome,
-        metrics=metrics,
-        fresh_evaluations=fresh,
-        cache_hits=hits,
-        runtime_s=runtime_s,
-    )
-    if memo is not None:
-        memo.put(key, json_safe(result.deterministic_record()))
-    _write_single_run_artifacts(result, out_dir)
+    with obs_trace.span("experiment.record"):
+        runtime_s = time.perf_counter() - started
+        record: dict[str, Any] = {
+            "fingerprint": spec.fingerprint(),
+            "tag": spec.tag,
+            "kind": "engine" if spec.engine else "static",
+            # The resolved search-loop mode (None for static specs):
+            # recorded so artifacts say which pipeline produced an
+            # engine result.
+            "async_mode": spec.resolved_async_mode() if spec.engine else None,
+            "spec": spec.deterministic_dict(),
+            "attack": _attack_record(attack_report) if attack_report else None,
+            "engine": dict(outcome.record, engine=outcome.engine)
+            if outcome
+            else None,
+            "metrics": {
+                name: json_safe(value) for name, value in metrics.items()
+            },
+            "fresh_evaluations": fresh,
+            "cache_hits": hits,
+            "runtime_s": runtime_s,
+            "from_cache": False,
+        }
+        result = RunResult(
+            spec=spec,
+            record=record,
+            locked=locked,
+            attack_report=attack_report,
+            engine_outcome=outcome,
+            metrics=metrics,
+            fresh_evaluations=fresh,
+            cache_hits=hits,
+            runtime_s=runtime_s,
+        )
+        _RUNS.inc(kind=kind, outcome="fresh")
+        _RUN_SECONDS.observe(runtime_s, kind=kind)
+        if memo is not None:
+            memo.put(key, json_safe(result.deterministic_record()))
+        _write_single_run_artifacts(result, out_dir)
     return result
 
 
@@ -432,13 +488,17 @@ def run_sweep(
 
     results: list[RunResult] = []
     try:
-        for spec in specs:
-            result = run_experiment(
-                spec, evaluator=_evaluator_for(spec), experiment_cache=memo
-            )
-            results.append(result)
-            if writer is not None:
-                writer.write(result.record)
+        # The sweep owns the tracer (one file for all points); each
+        # point's run_experiment then joins it instead of opening its own.
+        with obs_trace.tracing(sweep.trace, sweep=sweep.name), \
+                obs_trace.span("sweep", sweep=sweep.name, points=len(specs)):
+            for spec in specs:
+                result = run_experiment(
+                    spec, evaluator=_evaluator_for(spec), experiment_cache=memo
+                )
+                results.append(result)
+                if writer is not None:
+                    writer.write(result.record)
     finally:
         if owns_evaluator:
             if pool is not None:

@@ -41,7 +41,7 @@ from repro.registry import ATTACKS, ENGINES, METRICS, SCHEMES, STORES
 #: an experiment runs and ``tag`` only labels it — neither can change
 #: what it computes, so differently-labelled identical specs share
 #: cached experiment records.
-_EXECUTION_FIELDS = ("workers", "cache_path", "store", "tag")
+_EXECUTION_FIELDS = ("workers", "cache_path", "store", "tag", "trace")
 
 
 def _read_spec_file(path: str | Path, kind: str) -> str:
@@ -116,6 +116,11 @@ class ExperimentSpec:
     #: anything else -> the historical JSON file).
     store: str | None = None
     tag: str = ""
+    #: span-trace output path (``repro.obs``); an execution knob like
+    #: ``cache_path`` — observing a run cannot change its result, so the
+    #: field is excluded from fingerprints. Workers override it with a
+    #: path valid on *their* filesystem.
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         # Normalise mutable/loose inputs so equality and fingerprints are
@@ -140,6 +145,8 @@ class ExperimentSpec:
             raise SpecError(str(exc)) from exc
         if self.cache_path is not None:
             object.__setattr__(self, "cache_path", str(self.cache_path))
+        if self.trace is not None:
+            object.__setattr__(self, "trace", str(self.trace))
 
     # -- validation -----------------------------------------------------
     def validate(self) -> "ExperimentSpec":
@@ -347,6 +354,9 @@ class SweepSpec:
     #: set this explicitly: point fingerprints embed the *resolved* mode,
     #: so pinning it keeps queue rows stable across worker counts.
     async_mode: bool | None = None
+    #: span-trace output path applied to every expanded point (see
+    #: ``ExperimentSpec.trace``); execution-only, never fingerprinted.
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         axes = {}
@@ -383,6 +393,8 @@ class SweepSpec:
             shared["store"] = self.store
         if self.async_mode is not None:
             shared["async_mode"] = self.async_mode
+        if self.trace is not None:
+            shared["trace"] = self.trace
 
         specs: list[ExperimentSpec] = []
         keys = list(self.axes)
@@ -484,6 +496,7 @@ class SweepSpec:
             "cache_path": self.cache_path,
             "store": self.store,
             "async_mode": self.async_mode,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -492,7 +505,7 @@ class SweepSpec:
             raise SpecError(f"sweep spec must be a JSON object, got {data!r}")
         unknown = set(data) - {
             "name", "base", "axes", "workers", "cache_path", "store",
-            "async_mode",
+            "async_mode", "trace",
         }
         if unknown:
             raise SpecError(f"unknown SweepSpec fields: {sorted(unknown)}")
@@ -506,6 +519,7 @@ class SweepSpec:
             cache_path=data.get("cache_path"),
             store=data.get("store"),
             async_mode=data.get("async_mode"),
+            trace=data.get("trace"),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

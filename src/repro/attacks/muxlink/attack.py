@@ -28,8 +28,20 @@ import repro.attacks.muxlink.mlp_predictor  # noqa: F401
 from repro.attacks.muxlink.graph import extract_observed
 from repro.errors import AttackError
 from repro.locking.base import LockedCircuit
+from repro.obs import metrics as obs_metrics
 from repro.registry import PREDICTORS, register_attack
 from repro.utils.rng import derive_rng
+
+_FIT_SECONDS = obs_metrics.METRICS.histogram(
+    "autolock_predictor_fit_seconds",
+    "Per-predictor self-supervised training wall time",
+    labels=("predictor",),
+)
+_SCORE_SECONDS = obs_metrics.METRICS.histogram(
+    "autolock_predictor_score_seconds",
+    "Per-predictor batched link-scoring wall time",
+    labels=("predictor",),
+)
 
 
 @register_attack("muxlink")
@@ -89,7 +101,12 @@ class MuxLinkAttack(Attack):
             predictor = PREDICTORS.create(
                 self.predictor_name, **self.predictor_kwargs
             )
+            fit_started = time.perf_counter()
             predictor.fit(graph, rng)
+            _FIT_SECONDS.observe(
+                time.perf_counter() - fit_started,
+                predictor=self.predictor_name,
+            )
             history = getattr(predictor, "train_history", None)
             if history:
                 final_losses.append(history[-1])
@@ -109,10 +126,15 @@ class MuxLinkAttack(Attack):
                     c = graph.index[consumer]
                     flat_pairs.append((d0, c))
                     flat_pairs.append((d1, c))
+            score_started = time.perf_counter()
             if score_links is not None:
                 flat_scores = score_links(flat_pairs)
             else:
                 flat_scores = [predictor.score_link(u, v) for u, v in flat_pairs]
+            _SCORE_SECONDS.observe(
+                time.perf_counter() - score_started,
+                predictor=self.predictor_name,
+            )
 
             member_margins: dict[str, float] = {}
             cursor = 0

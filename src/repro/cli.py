@@ -18,6 +18,9 @@ Subcommands
              (inspect), ``store retry`` (requeue failed sweep points),
              ``store gc`` (drop unreachable experiment records + compact);
              every subcommand accepts a campaign URL as the store path
+``trace``    work with ``--trace`` span files: ``trace summarize`` folds
+             one or more JSONL traces into a per-stage time-attribution
+             table (self/cumulative wall time, call counts, p50/p95)
 ``plugins``  list every registered scheme / locking primitive / attack /
              predictor / engine / metric / store backend
 ``info``     print statistics of a benchmark circuit or the whole suite
@@ -156,6 +159,7 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         workers=max(1, args.workers),
         async_mode=args.async_mode,
         cache_path=args.cache,
+        trace=args.trace,
         **({"alphabet": alphabet} if alphabet is not None else {}),
     )
     result = run_experiment(spec)
@@ -191,6 +195,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             spec = spec.with_updates(store=args.store)
         if args.async_mode is not None:
             spec = spec.with_updates(async_mode=args.async_mode)
+        if args.trace is not None:
+            spec = spec.with_updates(trace=args.trace)
         if alphabet is not None:
             spec = spec.with_updates(alphabet=alphabet)
         result = run_experiment(spec, out_dir=args.out)
@@ -222,6 +228,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             overrides["store"] = args.store
         if args.async_mode is not None:
             overrides["async_mode"] = args.async_mode
+        if args.trace is not None:
+            overrides["trace"] = args.trace
         if overrides:
             sweep = dataclasses.replace(sweep, **overrides)
         if alphabet is not None:
@@ -380,6 +388,12 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             backend=backend,
             lease_ttl=args.ttl,
             max_points=args.max_points,
+            trace=args.trace,
+        )
+        from repro.obs import configure_logging
+
+        configure_logging(
+            "DEBUG" if args.verbose else None, worker_id=worker.worker_id
         )
         print(f"worker {worker.worker_id} joining sweep {sweep_id} on {store_path}")
         report = worker.run()
@@ -427,6 +441,17 @@ def _cmd_store_status(args: argparse.Namespace) -> int:
             print(f"  {sweep_id:<20} {summary}")
     else:
         print("sweeps: (none)")
+    cache = status.get("cache")
+    if cache is not None:
+        # Status came via a campaign server: its live kv-get ledger.
+        print(
+            f"cache: {cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['fresh_evaluations']} fresh evaluations recorded"
+        )
+    elif "fresh_evaluations" in status:
+        print(
+            f"fresh evaluations recorded: {status['fresh_evaluations']}"
+        )
     server = status.get("server")
     if server:
         # Status came from a campaign server: surface its vitals too.
@@ -519,6 +544,47 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Fold trace JSONL files into a per-stage time-attribution table.
+
+    Exit codes: 0 = table printed (and coverage gate passed, if any);
+    1 = ``--min-coverage`` gate failed; 2 = missing/empty trace files.
+    """
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs import format_table, load_spans, summarize
+
+    for path in args.paths:
+        if not Path(path).exists():
+            print(f"error: no trace file at {path!r}", file=sys.stderr)
+            return 2
+    spans = load_spans(args.paths)
+    if not spans:
+        print(
+            "error: no spans found — was the run started with --trace?",
+            file=sys.stderr,
+        )
+        return 2
+    summary = summarize(spans)
+    if args.json:
+        payload = dict(summary)
+        if args.limit:
+            payload["rows"] = payload["rows"][: args.limit]
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_table(summary, limit=args.limit))
+    if args.min_coverage is not None:
+        if summary["coverage"] * 100.0 < args.min_coverage:
+            print(
+                f"error: coverage {summary['coverage'] * 100.0:.1f}% is "
+                f"below the --min-coverage gate ({args.min_coverage:.1f}%)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_plugins(args: argparse.Namespace) -> int:
     from repro import registry
 
@@ -545,6 +611,17 @@ def _add_token_flag(parser: argparse.ArgumentParser) -> None:
         "--token", default=None, metavar="TOKEN",
         help="campaign-server bearer token for http:// store paths "
         "(default: the AUTOLOCK_TOKEN environment variable)",
+    )
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    """``--trace``: write a JSONL span trace of the run."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write nested timing spans to this JSONL file (summarise "
+        "with `autolock trace summarize PATH`); worker processes derive "
+        "per-worker files from the same stem. Excluded from experiment "
+        "fingerprints — results are byte-identical with or without it.",
     )
 
 
@@ -642,6 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_evolve.add_argument("--output", default=None)
     _add_alphabet_flag(p_evolve)
     _add_loop_mode_flags(p_evolve)
+    _add_trace_flag(p_evolve)
     p_evolve.set_defaults(func=_cmd_evolve)
 
     p_run = sub.add_parser(
@@ -661,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_alphabet_flag(p_run)
     _add_loop_mode_flags(p_run)
+    _add_trace_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser(
@@ -692,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_alphabet_flag(p_sweep)
     _add_loop_mode_flags(p_sweep)
+    _add_trace_flag(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_worker = sub.add_parser(
@@ -735,7 +815,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-points", type=int, default=None,
         help="exit after completing this many points (default: drain)",
     )
+    p_worker.add_argument(
+        "--verbose", action="store_true", default=False,
+        help="DEBUG-level worker logging (default level: the AUTOLOCK_LOG "
+        "environment variable, else INFO)",
+    )
     _add_token_flag(p_worker)
+    _add_trace_flag(p_worker)
     p_worker.set_defaults(func=_cmd_worker)
 
     p_serve = sub.add_parser(
@@ -835,6 +921,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_token_flag(p_gc)
     p_gc.set_defaults(func=_cmd_store_gc)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect --trace span files"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-stage time-attribution table from trace JSONL files",
+        description="Fold one or more --trace JSONL files (pass every "
+        "per-worker file of a distributed sweep together) into a table "
+        "of call counts, cumulative/self wall time, CPU time, and "
+        "p50/p95 per span name. Coverage is the share of root-span wall "
+        "time attributed to named child spans.",
+    )
+    p_summarize.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="trace JSONL file(s) written via --trace",
+    )
+    p_summarize.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show only the top N stages by cumulative wall time",
+    )
+    p_summarize.add_argument(
+        "--min-coverage", type=float, default=None, metavar="PCT",
+        help="exit 1 unless coverage >= PCT percent (CI gate)",
+    )
+    p_summarize.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_summarize.set_defaults(func=_cmd_trace_summarize)
 
     p_plugins = sub.add_parser(
         "plugins", help="list every registered plugin by registry"

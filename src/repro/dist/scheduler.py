@@ -45,6 +45,8 @@ from repro.api.runner import (
 from repro.api.spec import ExperimentSpec, SweepSpec
 from repro.ec.fitness import FitnessCache, _key_to_str
 from repro.errors import StoreError
+from repro.obs import trace as obs_trace
+from repro.obs.logs import get_logger
 from repro.store import (
     STATUS_CLAIMED,
     STATUS_DONE,
@@ -55,6 +57,8 @@ from repro.store import (
     open_store,
 )
 from repro.dist.worker import worker_entry
+
+log = get_logger("dist.scheduler")
 
 
 def _record_key(spec: ExperimentSpec) -> str:
@@ -125,8 +129,19 @@ class SweepScheduler:
         """Enqueue, drive ``workers`` local processes, collect results."""
         if workers < 1:
             raise StoreError(f"distributed workers must be >= 1, got {workers}")
+        # The scheduler's own tracer records enqueue/drive/collect; each
+        # worker process derives its own file from the same stem.
+        with obs_trace.tracing(self.sweep.trace, sweep=self.sweep.name):
+            with obs_trace.span("sweep.distributed") as span:
+                span.set(sweep_id=self.sweep_id, workers=workers)
+                return self._run(workers, out_dir=out_dir)
+
+    def _run(
+        self, workers: int, *, out_dir: str | Path | None = None
+    ) -> SweepResult:
         started = time.perf_counter()
-        self.enqueue()
+        with obs_trace.span("sweep.enqueue"):
+            self.enqueue()
         done_before = {
             p["fingerprint"]
             for p in self._queue.points(self.sweep_id)
@@ -151,24 +166,31 @@ class SweepScheduler:
                         "worker_id": worker_id,
                         "lease_ttl": self.lease_ttl,
                         "max_attempts": self.max_attempts,
+                        "trace": self.sweep.trace,
                     },
                 ),
                 daemon=False,
             )
             for worker_id in worker_ids
         ]
-        for process in processes:
-            process.start()
-        for process in processes:
-            process.join()
+        log.info(
+            "sweep %s [%s]: driving %d local worker(s)",
+            self.sweep.name, self.sweep_id, workers,
+        )
+        with obs_trace.span("sweep.workers") as span:
+            span.set(n=workers)
+            for process in processes:
+                process.start()
+            for process in processes:
+                process.join()
         # A worker that died mid-point (crash, kill -9) leaves its lease
         # behind; release it so this — or the next — run reclaims the
         # point immediately instead of waiting out the ttl.
-        for worker_id in worker_ids:
-            self._queue.release_worker(self.sweep_id, worker_id)
-        self._queue.requeue_expired(self.sweep_id)
-
-        counts = self.queue_counts()
+        with obs_trace.span("sweep.reconcile"):
+            for worker_id in worker_ids:
+                self._queue.release_worker(self.sweep_id, worker_id)
+            self._queue.requeue_expired(self.sweep_id)
+            counts = self.queue_counts()
         if counts.get(STATUS_FAILED):
             errors = [
                 f"  {p['fingerprint']}: {p['error']}"
@@ -234,11 +256,13 @@ class SweepScheduler:
             else None
         )
         results: list[RunResult] = []
-        for spec in self.specs:
-            result = run_experiment(spec, experiment_cache=memo)
-            results.append(result)
-            if writer is not None:
-                writer.write(result.record)
+        with obs_trace.span("sweep.collect") as span:
+            span.set(points=len(self.specs))
+            for spec in self.specs:
+                result = run_experiment(spec, experiment_cache=memo)
+                results.append(result)
+                if writer is not None:
+                    writer.write(result.record)
 
         manifest_path = results_path = None
         if writer is not None:

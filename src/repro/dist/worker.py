@@ -40,9 +40,33 @@ from repro.api.spec import ExperimentSpec
 from repro.ec.evaluator import AsyncEvaluator, Evaluator
 from repro.ec.fitness import FitnessCache
 from repro.errors import StoreError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.logs import configure_logging, get_logger
 from repro.store import STATUS_CLAIMED, STATUS_PENDING, ensure_queue, open_store
 
 T = TypeVar("T")
+
+log = get_logger("dist.worker")
+
+_POINTS = obs_metrics.METRICS.counter(
+    "autolock_worker_points_total",
+    "Queue points finished by this worker process, by outcome",
+    labels=("status",),
+)
+_RETRIES = obs_metrics.METRICS.counter(
+    "autolock_store_retries_total",
+    "Store operations retried after a StoreError",
+    labels=("op",),
+)
+_LEASES_LOST = obs_metrics.METRICS.counter(
+    "autolock_worker_leases_lost_total",
+    "Leases lost mid-run (stolen by a sibling or server unreachable)",
+)
+_POINT_SECONDS = obs_metrics.METRICS.histogram(
+    "autolock_worker_point_seconds",
+    "Wall time one claimed point took to run",
+)
 
 
 def default_worker_id() -> str:
@@ -77,7 +101,13 @@ def retry_with_backoff(
             if attempt + 1 >= max(1, attempts):
                 break
             delay = min(cap_s, base_s * (2**attempt))
-            sleep(delay * (0.5 + random.random()))
+            jittered = delay * (0.5 + random.random())
+            _RETRIES.inc(op=op)
+            log.warning(
+                "%s failed (attempt %d/%d): %s — retrying in %.2fs",
+                op, attempt + 1, max(1, attempts), exc, jittered,
+            )
+            sleep(jittered)
     raise StoreError(
         f"{op} still failing after {max(1, attempts)} attempts: {last}"
     ) from last
@@ -176,6 +206,9 @@ class Worker:
     retry_attempts: int = 5
     retry_base_s: float = 0.2
     retry_cap_s: float = 5.0
+    #: span-trace stem; each worker writes its own derived file
+    #: (``trace-<worker_id>.jsonl``) so processes never share a writer.
+    trace: str | None = None
 
     def _retry(self, op: str, fn: Callable[[], T]) -> T:
         return retry_with_backoff(
@@ -187,18 +220,30 @@ class Worker:
         )
 
     def run(self) -> WorkerReport:
+        trace_path = (
+            obs_trace.derive_worker_path(self.trace, self.worker_id)
+            if self.trace
+            else None
+        )
+        with obs_trace.tracing(trace_path, worker=self.worker_id):
+            with obs_trace.span("worker.run") as span:
+                span.set(worker=self.worker_id, sweep=self.sweep_id)
+                return self._run()
+
+    def _run(self) -> WorkerReport:
         started = time.perf_counter()
         report = WorkerReport(worker_id=self.worker_id)
-        store = open_store(self.store_path, self.backend)
-        queue = ensure_queue(store)
-        # One experiment-record cache for the whole loop, sharing the
-        # already-open store handle; read-through finds records written
-        # by sibling workers mid-run.
-        memo = FitnessCache(
-            path=self.store_path,
-            backend=store,
-            namespace=EXPERIMENT_NAMESPACE,
-        )
+        with obs_trace.span("worker.connect"):
+            store = open_store(self.store_path, self.backend)
+            queue = ensure_queue(store)
+            # One experiment-record cache for the whole loop, sharing the
+            # already-open store handle; read-through finds records
+            # written by sibling workers mid-run.
+            memo = FitnessCache(
+                path=self.store_path,
+                backend=store,
+                namespace=EXPERIMENT_NAMESPACE,
+            )
         heartbeat_interval = max(0.05, self.lease_ttl / 3.0)
         #: lazily-built pool shared by every parallel/steady-state engine
         #: point this worker runs (sized by the first such point; results
@@ -211,26 +256,30 @@ class Worker:
                     and report.points_completed >= self.max_points
                 ):
                     break
-                point = self._retry(
-                    "claim",
-                    lambda: queue.claim(
-                        self.sweep_id, self.worker_id, self.lease_ttl
-                    ),
-                )
+                with obs_trace.span("worker.claim"):
+                    point = self._retry(
+                        "claim",
+                        lambda: queue.claim(
+                            self.sweep_id, self.worker_id, self.lease_ttl
+                        ),
+                    )
                 if point is None:
                     # claim() already treats expired leases as claimable,
                     # so an empty claim means: drained, or siblings still
                     # hold live leases.
-                    counts = self._retry(
-                        "queue status",
-                        lambda: queue.queue_counts(self.sweep_id),
-                    )
-                    if not (
-                        counts.get(STATUS_PENDING, 0)
-                        or counts.get(STATUS_CLAIMED, 0)
-                    ):
+                    with obs_trace.span("worker.idle"):
+                        counts = self._retry(
+                            "queue status",
+                            lambda: queue.queue_counts(self.sweep_id),
+                        )
+                        drained = not (
+                            counts.get(STATUS_PENDING, 0)
+                            or counts.get(STATUS_CLAIMED, 0)
+                        )
+                        if not drained:
+                            time.sleep(self.poll_interval_s)
+                    if drained:
                         break  # queue drained: every point done or failed
-                    time.sleep(self.poll_interval_s)
                     continue
                 # Point the spec's execution knobs at *this worker's* view
                 # of the store: the enqueuer's cache_path may be relative
@@ -238,43 +287,69 @@ class Worker:
                 # caches are built from the spec. Execution fields are
                 # excluded from the fingerprint, so the memo key — and
                 # therefore the record — is unchanged.
-                spec = ExperimentSpec.from_dict(point.payload)
-                overrides: dict = {"cache_path": str(self.store_path)}
-                if self.backend is not None:
-                    overrides["store"] = self.backend
-                spec = spec.with_updates(**overrides)
-                needs_pool = spec.engine is not None and (
-                    spec.workers >= 2 or spec.resolved_async_mode()
-                )
-                if needs_pool and (
-                    shared_evaluator is None
-                    or shared_evaluator.workers < spec.workers
-                ):
-                    # First pool-needing point, or one asking for more
-                    # parallelism than the current pool offers: (re)build.
-                    # Results are worker-count independent, so resizing
-                    # mid-sweep is always safe.
-                    if shared_evaluator is not None:
-                        shared_evaluator.close()
-                    shared_evaluator = AsyncEvaluator(max(1, spec.workers))
+                log.info("claimed point %s", point.fingerprint[:12])
+                with obs_trace.span("worker.prepare"):
+                    spec = ExperimentSpec.from_dict(point.payload)
+                    # The enqueuer's trace path (like its cache_path)
+                    # belongs to another process, possibly another
+                    # machine; this worker's own tracer — opened in
+                    # run() — already covers the whole loop.
+                    overrides: dict = {
+                        "cache_path": str(self.store_path),
+                        "trace": None,
+                    }
+                    if self.backend is not None:
+                        overrides["store"] = self.backend
+                    spec = spec.with_updates(**overrides)
+                    needs_pool = spec.engine is not None and (
+                        spec.workers >= 2 or spec.resolved_async_mode()
+                    )
+                    if needs_pool and (
+                        shared_evaluator is None
+                        or shared_evaluator.workers < spec.workers
+                    ):
+                        # First pool-needing point, or one asking for
+                        # more parallelism than the current pool offers:
+                        # (re)build. Results are worker-count
+                        # independent, so resizing mid-sweep is always
+                        # safe.
+                        if shared_evaluator is not None:
+                            shared_evaluator.close()
+                        shared_evaluator = AsyncEvaluator(
+                            max(1, spec.workers)
+                        )
                 heartbeat = _LeaseHeartbeat(
                     queue, point, heartbeat_interval, self.lease_ttl,
                     retry=self._retry,
                 )
+                point_started = time.perf_counter()
                 try:
                     with heartbeat:
-                        result = run_experiment(
-                            spec,
-                            evaluator=shared_evaluator if needs_pool else None,
-                            experiment_cache=memo,
-                        )
+                        with obs_trace.span("worker.point") as span:
+                            span.set(fingerprint=point.fingerprint)
+                            result = run_experiment(
+                                spec,
+                                evaluator=(
+                                    shared_evaluator if needs_pool else None
+                                ),
+                                experiment_cache=memo,
+                            )
                 except Exception as exc:  # noqa: BLE001 - point-level isolation
                     if heartbeat.lost:
                         # Our lease was stolen mid-run; the point belongs
                         # to a sibling now — reporting our failure would
                         # scribble on their row. (The store guards this
                         # too; skipping here avoids a misleading error.)
+                        _LEASES_LOST.inc()
+                        log.warning(
+                            "lease for %s lost mid-run; leaving the point "
+                            "to its new owner", point.fingerprint[:12],
+                        )
                         continue
+                    log.warning(
+                        "point %s failed: %s: %s",
+                        point.fingerprint[:12], type(exc).__name__, exc,
+                    )
                     status = queue.fail(
                         self.sweep_id,
                         point.fingerprint,
@@ -282,6 +357,7 @@ class Worker:
                         f"{type(exc).__name__}: {exc}",
                         max_attempts=self.max_attempts,
                     )
+                    _POINTS.inc(status=status)
                     if status == "failed":
                         report.points_failed += 1
                     continue
@@ -290,15 +366,29 @@ class Worker:
                     # a sibling; the lease-guarded complete would be
                     # rejected anyway. The record itself is already
                     # safely (and identically) in the store.
+                    _LEASES_LOST.inc()
+                    log.warning(
+                        "lease for %s expired mid-run; result is in the "
+                        "store, completion left to the lease holder",
+                        point.fingerprint[:12],
+                    )
                     continue
-                self._retry(
-                    "complete",
-                    lambda: queue.complete(
-                        self.sweep_id,
-                        point.fingerprint,
-                        self.worker_id,
-                        fresh_evaluations=result.fresh_evaluations,
-                    ),
+                with obs_trace.span("worker.complete"):
+                    self._retry(
+                        "complete",
+                        lambda: queue.complete(
+                            self.sweep_id,
+                            point.fingerprint,
+                            self.worker_id,
+                            fresh_evaluations=result.fresh_evaluations,
+                        ),
+                    )
+                _POINTS.inc(status="completed")
+                _POINT_SECONDS.observe(time.perf_counter() - point_started)
+                log.info(
+                    "completed %s (%d fresh evaluations, %.1fs)",
+                    point.fingerprint[:12], result.fresh_evaluations,
+                    time.perf_counter() - point_started,
                 )
                 report.points_completed += 1
                 report.fresh_evaluations += result.fresh_evaluations
@@ -324,8 +414,17 @@ def worker_entry(config: dict[str, Any]) -> WorkerReport:
     """Process entry point: build a :class:`Worker` from plain kwargs.
 
     Takes a plain dict (picklable under any multiprocessing start
-    method) so the scheduler and the CLI share one spawn path.
+    method) so the scheduler and the CLI share one spawn path. The
+    non-:class:`Worker` key ``verbose`` tunes this process's log level;
+    all lines are worker-id-prefixed so interleaved multi-worker stdout
+    stays attributable.
     """
-    report = Worker(**config).run()
-    print(report.describe(), flush=True)
+    config = dict(config)
+    verbose = config.pop("verbose", False)
+    worker = Worker(**config)
+    configure_logging(
+        "DEBUG" if verbose else None, worker_id=worker.worker_id
+    )
+    report = worker.run()
+    log.info(report.describe())
     return report

@@ -49,9 +49,35 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.ec.genotype import genotype_key
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 Genotype = list  # heterogeneous primitive genes (repro.locking.primitives)
 Fitness = Callable[[Sequence], "float | tuple[float, ...]"]
+
+_BATCH_SECONDS = obs_metrics.METRICS.histogram(
+    "autolock_eval_batch_seconds",
+    "Wall time of one population evaluation batch",
+    labels=("evaluator",),
+)
+_SUBMIT_SECONDS = obs_metrics.METRICS.histogram(
+    "autolock_eval_submit_seconds",
+    "Async submit-to-complete latency of fresh evaluations",
+)
+_DISPATCHED = obs_metrics.METRICS.counter(
+    "autolock_eval_dispatched_total",
+    "Fresh attack evaluations actually dispatched",
+    labels=("evaluator",),
+)
+_DEDUPED = obs_metrics.METRICS.counter(
+    "autolock_eval_deduped_total",
+    "Evaluations answered by in-batch or in-flight dedupe",
+    labels=("evaluator",),
+)
+_SALVAGED = obs_metrics.METRICS.counter(
+    "autolock_eval_salvaged_total",
+    "Sibling results salvaged from failed pool batches",
+)
 
 
 def supports_async(evaluator: object) -> bool:
@@ -144,7 +170,13 @@ class SerialEvaluator(Evaluator):
     ) -> tuple[list, BatchStats]:
         started = time.perf_counter()
         hits0, _, evals0 = self._counters(fitness)
-        values = [fitness(genes) for genes in population]
+        if obs_trace.enabled():
+            values = []
+            for genes in population:
+                with obs_trace.span("eval.candidate"):
+                    values.append(fitness(genes))
+        else:
+            values = [fitness(genes) for genes in population]
         hits1, _, evals1 = self._counters(fitness)
         stats = BatchStats(
             size=len(population),
@@ -153,6 +185,9 @@ class SerialEvaluator(Evaluator):
             dispatched=evals1 - evals0,
             wall_s=time.perf_counter() - started,
         )
+        _BATCH_SECONDS.observe(stats.wall_s, evaluator="serial")
+        if stats.dispatched:
+            _DISPATCHED.inc(stats.dispatched, evaluator="serial")
         return values, self._record(stats)
 
 
@@ -271,6 +306,8 @@ class ProcessPoolEvaluator(Evaluator):
                     if hasattr(cache, "flush"):
                         with contextlib.suppress(Exception):
                             cache.flush()
+                if partial.completed:
+                    _SALVAGED.inc(len(partial.completed))
                 raise partial.cause
             for key, value in zip(pending, fresh):
                 if cache is not None:
@@ -301,6 +338,11 @@ class ProcessPoolEvaluator(Evaluator):
             dispatched=len(pending),
             wall_s=time.perf_counter() - started,
         )
+        _BATCH_SECONDS.observe(stats.wall_s, evaluator="pool")
+        if stats.dispatched:
+            _DISPATCHED.inc(stats.dispatched, evaluator="pool")
+        if duplicates:
+            _DEDUPED.inc(len(duplicates), evaluator="pool")
         return [results[key] for key in keys], self._record(stats)
 
     def _stage_fitness(self, fitness: Fitness) -> bool:
@@ -458,6 +500,7 @@ class AsyncEvaluator(ProcessPoolEvaluator):
             if cache is not None and hasattr(cache, "misses"):
                 cache.misses -= 1
                 cache.hits += 1
+            _DEDUPED.inc(evaluator="async")
             self._record(BatchStats(
                 size=1, cache_hits=1,
                 wall_s=time.perf_counter() - started,
@@ -468,6 +511,7 @@ class AsyncEvaluator(ProcessPoolEvaluator):
         future = pool.submit(_eval_epoch, (self._epoch, self._blob_path, genes))
         with self._inflight_lock:
             self._inflight[inflight_key] = future
+        _DISPATCHED.inc(evaluator="async")
         self._record(BatchStats(
             size=1, unique=1, dispatched=1,
             wall_s=time.perf_counter() - started,
@@ -478,6 +522,10 @@ class AsyncEvaluator(ProcessPoolEvaluator):
                 if fut.cancelled() or fut.exception() is not None:
                     return
                 value = fut.result()
+                # Dispatcher-side submit-to-complete latency: worker
+                # processes keep their own registries, so this is where
+                # per-evaluation latency is observable.
+                _SUBMIT_SECONDS.observe(time.perf_counter() - started)
                 if cache is not None:
                     # Write-through: each fresh value costs an attack run,
                     # so persist it the moment it exists (put() only

@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Protocol, Sequence
@@ -42,7 +43,27 @@ from repro.locking.primitives import Gene, primitive_for_gene
 from repro.metrics.overhead import area_estimate
 from repro.metrics.security import score_guesses
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics as obs_metrics
 from repro.registry import create_attack
+
+_CACHE_LOOKUPS = obs_metrics.METRICS.counter(
+    "autolock_cache_lookups_total",
+    "FitnessCache lookups by namespace and outcome",
+    labels=("namespace", "result"),
+)
+_CACHE_FLUSH_SECONDS = obs_metrics.METRICS.histogram(
+    "autolock_cache_flush_seconds",
+    "Wall time flushing dirty FitnessCache entries to the backend",
+)
+_FRESH_EVALUATIONS = obs_metrics.METRICS.counter(
+    "autolock_fresh_evaluations_total",
+    "Fresh (non-cached) attack-backed fitness evaluations",
+)
+_RELOCK_SECONDS = obs_metrics.METRICS.histogram(
+    "autolock_relock_seconds",
+    "Phenotype (re)locking wall time, by relock mode",
+    labels=("mode",),
+)
 
 #: default attack seed for attack-backed fitness; fixed so fitness is a
 #: deterministic function of the genotype and cache entries are shared
@@ -81,11 +102,17 @@ class _RelockMixin:
     _relocker: DeltaRelocker | None = None
 
     def _lock(self, genes: Sequence[Gene]) -> LockedCircuit:
+        started = time.perf_counter()
         if self.relock == "scratch":
-            return lock_with_genes(self.original, list(genes))
-        if self._relocker is None:
-            self._relocker = DeltaRelocker(self.original)
-        return self._relocker.lock(list(genes))
+            locked = lock_with_genes(self.original, list(genes))
+        else:
+            if self._relocker is None:
+                self._relocker = DeltaRelocker(self.original)
+            locked = self._relocker.lock(list(genes))
+        _RELOCK_SECONDS.observe(
+            time.perf_counter() - started, mode=self.relock
+        )
+        return locked
 
 
 class FitnessFunction(Protocol):
@@ -269,7 +296,9 @@ class FitnessCache:
                 return
             keys = tuple(self._dirty)
             entries = {_key_to_str(key): self.store[key] for key in keys}
+        started = time.perf_counter()
         self._store_backend.put_many(self.namespace, entries)
+        _CACHE_FLUSH_SECONDS.observe(time.perf_counter() - started)
         with self._lock:
             self._dirty.difference_update(keys)
 
@@ -300,9 +329,13 @@ class FitnessCache:
 
     # -- memo protocol --------------------------------------------------
     def get(self, key: tuple):
+        # ``hits``/``misses`` stay raw ints — evaluators deliberately
+        # rewind them to replay serial accounting — while the registry
+        # counters below are the monotonic operational view.
         with self._lock:
             if key in self.store:
                 self.hits += 1
+                _CACHE_LOOKUPS.inc(namespace=self.namespace, result="hit")
                 return self.store[key]
             if (
                 self._store_backend is not None
@@ -315,8 +348,12 @@ class FitnessCache:
                     value = self._decode(value)
                     self.store[key] = value
                     self.hits += 1
+                    _CACHE_LOOKUPS.inc(
+                        namespace=self.namespace, result="hit"
+                    )
                     return value
             self.misses += 1
+            _CACHE_LOOKUPS.inc(namespace=self.namespace, result="miss")
             return None
 
     def put(self, key: tuple, value, flush: bool = True) -> None:
@@ -382,6 +419,7 @@ class SpecFitness(_RelockMixin):
             locked, genes, report, self._scope, self.attack_seed
         )
         self.evaluations += 1
+        _FRESH_EVALUATIONS.inc()
         self.cache.put(key, value)
         return value
 
@@ -545,6 +583,7 @@ class MultiObjectiveFitness(_RelockMixin):
         if scope_report is not None:
             values["scope"] = float(scope_report.score.coverage)
         self.evaluations += 1
+        _FRESH_EVALUATIONS.inc()
         result = tuple(values[name] for name in self.objectives)
         self.cache.put(key, result)
         return result

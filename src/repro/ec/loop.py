@@ -62,6 +62,23 @@ from repro.ec.genotype import genotype_key, repair_genotype
 from repro.ec.operators import SELECTIONS, MutationConfig, mutate
 from repro.errors import EvolutionError
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+_GENERATIONS = obs_metrics.METRICS.counter(
+    "autolock_loop_generations_total", "Sync-loop generations completed"
+)
+_INTEGRATIONS = obs_metrics.METRICS.counter(
+    "autolock_loop_integrations_total",
+    "Async-loop completed evaluations integrated",
+)
+_BACKLOG = obs_metrics.METRICS.gauge(
+    "autolock_loop_backlog", "Async-loop evaluations currently in flight"
+)
+_BACKLOG_TARGET = obs_metrics.METRICS.gauge(
+    "autolock_loop_backlog_target",
+    "Async-loop backlog bound currently in force (tuner decision)",
+)
 
 Genotype = list  # heterogeneous primitive genes (repro.locking.primitives)
 
@@ -452,9 +469,11 @@ class SearchLoop:
 
     def run(self, fitness, rng) -> LoopState:
         try:
-            if self.async_mode:
-                return self._run_async(fitness, rng)
-            return self._run_sync(fitness, rng)
+            with obs_trace.span("loop.run") as span:
+                span.set(mode="async" if self.async_mode else "sync")
+                if self.async_mode:
+                    return self._run_async(fitness, rng)
+                return self._run_sync(fitness, rng)
         finally:
             # A raised attack error (or an interrupt) must not lose the
             # evaluations already paid for: flush dirty cache entries
@@ -472,7 +491,9 @@ class SearchLoop:
         stopped_early = False
         while True:
             if values is None:
-                raw, batch = self.evaluator.evaluate(population, fitness)
+                with obs_trace.span("loop.evaluate") as span:
+                    span.set(gen=gen, n=len(population))
+                    raw, batch = self.evaluator.evaluate(population, fitness)
                 values = [policy.coerce(v) for v in raw]
                 n_evals += len(population)
                 policy.on_evaluated(
@@ -483,13 +504,18 @@ class SearchLoop:
             if stop:
                 stopped_early = early
                 break
-            offspring = policy.breed(
-                policy.offspring_count, population, values, rng
-            )
+            with obs_trace.span("loop.breed"):
+                offspring = policy.breed(
+                    policy.offspring_count, population, values, rng
+                )
             off_values = None
             off_batch = None
             if policy.survival_needs_offspring_values:
-                raw, off_batch = self.evaluator.evaluate(offspring, fitness)
+                with obs_trace.span("loop.evaluate") as span:
+                    span.set(gen=gen, n=len(offspring))
+                    raw, off_batch = self.evaluator.evaluate(
+                        offspring, fitness
+                    )
                 off_values = [policy.coerce(v) for v in raw]
                 n_evals += len(offspring)
             population, values = policy.survival.survive(
@@ -500,6 +526,7 @@ class SearchLoop:
                 time.perf_counter() - started,
             )
             gen += 1
+            _GENERATIONS.inc()
         return LoopState(
             population=population,
             values=values if values is not None else [],
@@ -548,11 +575,14 @@ class SearchLoop:
         submitted = len(pending)
         completed = 0
         stopped_early = False
+        _BACKLOG.set(len(pending))
+        _BACKLOG_TARGET.set(max_pending)
         try:
             while pending:
                 genes, future = pending.popleft()
                 value = policy.coerce(future.result())
                 completed += 1
+                _INTEGRATIONS.inc()
                 policy.integrate_async(
                     genes, value, completed, rng,
                     time.perf_counter() - started,
@@ -563,10 +593,12 @@ class SearchLoop:
                     break
                 if tuner is not None:
                     max_pending = tuner.target()
+                    _BACKLOG_TARGET.set(max_pending)
                 while submitted < budget and len(pending) < max_pending:
                     child = policy.breed_async(rng)
                     pending.append((child, submit(child)))
                     submitted += 1
+                _BACKLOG.set(len(pending))
         finally:
             if pending:
                 # Budget exhaustion / convergence / error with work still

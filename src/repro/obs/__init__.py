@@ -1,0 +1,52 @@
+"""Observability: process-wide metrics, span tracing, structured logs.
+
+Stdlib-only telemetry for the search/attack pipeline. Three layers:
+
+- :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters, gauges, and histograms (fixed bucket boundaries so merged
+  snapshots are deterministic). Always on: an increment is a dict update
+  under a lock, cheap next to any attack evaluation.
+- :mod:`repro.obs.trace` — a :class:`Tracer` writing nested spans (name,
+  attrs, wall/CPU time, parent id) as JSONL. Off by default: the module
+  global is ``None`` and :func:`span` returns one shared no-op object,
+  so instrumented code pays a single attribute check per site.
+- :mod:`repro.obs.logs` — ``logging`` configuration helpers shared by
+  the CLI, workers, and the campaign server (worker-id-prefixed lines,
+  level via ``--verbose`` or ``AUTOLOCK_LOG``).
+
+:mod:`repro.obs.summarize` turns one or more trace files into the
+per-stage time-attribution table behind ``autolock trace summarize``.
+"""
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    METRICS,
+)
+from repro.obs.summarize import format_table, load_spans, summarize
+from repro.obs.trace import (
+    Tracer,
+    enabled,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "METRICS",
+    "MetricsRegistry",
+    "Tracer",
+    "configure_logging",
+    "enabled",
+    "format_table",
+    "get_logger",
+    "load_spans",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "summarize",
+    "tracing",
+]

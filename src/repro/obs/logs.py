@@ -1,0 +1,65 @@
+"""Logging configuration shared by the CLI, workers, and the server.
+
+All pipeline loggers live under the ``autolock`` hierarchy
+(``get_logger("dist.worker")`` → ``autolock.dist.worker``). Handlers are
+attached once, to the hierarchy root, and write to **stdout** — worker
+output must land in the same stream as the legacy report prints so
+multi-worker logs stay greppable in one place.
+
+Level resolution order: explicit argument (``--verbose`` → DEBUG), then
+the ``AUTOLOCK_LOG`` environment variable (a level name), then INFO.
+``configure_logging`` is idempotent; re-calls only adjust the level and
+the worker-id prefix, so ``worker_entry`` can stamp its id after the CLI
+already configured the stream.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Any
+
+ENV_LEVEL = "AUTOLOCK_LOG"
+_ROOT = "autolock"
+
+_handler: logging.StreamHandler | None = None
+
+
+def _resolve_level(level: Any) -> int:
+    if level is None:
+        level = os.environ.get(ENV_LEVEL, "INFO")
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            resolved = logging.INFO
+        return resolved
+    return int(level)
+
+
+def configure_logging(
+    level: Any = None, *, worker_id: str | None = None
+) -> logging.Logger:
+    """Attach (or retune) the stdout handler on the ``autolock`` root."""
+    global _handler
+    root = logging.getLogger(_ROOT)
+    prefix = f"[{worker_id}] " if worker_id else ""
+    formatter = logging.Formatter(
+        f"%(asctime)s %(levelname)s {prefix}%(name)s: %(message)s",
+        datefmt="%H:%M:%S",
+    )
+    if _handler is None or _handler not in root.handlers:
+        _handler = logging.StreamHandler(sys.stdout)
+        root.addHandler(_handler)
+        root.propagate = False
+    _handler.setFormatter(formatter)
+    # Re-point at the *current* sys.stdout: pytest's capsys swaps the
+    # stream per-test, and a handler pinned to an old one goes silent.
+    _handler.stream = sys.stdout
+    root.setLevel(_resolve_level(level))
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``autolock`` hierarchy (``name`` is the suffix)."""
+    return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)

@@ -1,0 +1,295 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One :data:`METRICS` registry per process. Metrics are created lazily and
+idempotently — ``METRICS.counter("x")`` at two call sites returns the
+same object — so instrumented modules never need import-order
+coordination. Histograms use *fixed* bucket boundaries (no dynamic
+rebucketing), which keeps snapshots from different processes mergeable
+and deterministic.
+
+Everything here is stdlib-only and always on: an update is a dict write
+under one registry-wide lock, which is noise next to a single attack
+evaluation. The registry renders two ways:
+
+- :meth:`MetricsRegistry.render_prometheus` — Prometheus text exposition
+  format, served by ``GET /metrics`` on the campaign server;
+- :meth:`MetricsRegistry.snapshot` — plain JSON for dashboard tiles and
+  tests.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Iterable, Mapping
+
+#: Default histogram boundaries (seconds). Chosen to straddle everything
+#: from a no-op span (~1us) to a multi-minute campaign point.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: Any) -> str:
+    text = str(value)
+    for raw, escaped in _LABEL_ESCAPES.items():
+        text = text.replace(raw, escaped)
+    return text
+
+
+def _label_key(
+    label_names: tuple[str, ...], labels: Mapping[str, Any]
+) -> tuple[str, ...]:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {label_names}, got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class _Metric:
+    """Shared shape: name, help text, declared label names, value map."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self._lock = lock
+        self._values: dict[tuple[str, ...], Any] = {}
+
+    # -- rendering ------------------------------------------------------
+
+    def _render_labels(self, key: tuple[str, ...]) -> str:
+        if not self.label_names:
+            return ""
+        pairs = ", ".join(
+            f'{name}="{_escape_label(value)}"'
+            for name, value in zip(self.label_names, key)
+        )
+        return "{" + pairs + "}"
+
+    def render(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key in sorted(self._values):
+            lines.extend(self._render_one(key, self._values[key]))
+        return lines
+
+    def _render_one(self, key: tuple[str, ...], value: Any) -> list[str]:
+        return [f"{self.name}{self._render_labels(key)} {_format(value)}"]
+
+    def snapshot_values(self) -> dict[str, Any]:
+        return {
+            ",".join(key) if key else "": self._snapshot_one(value)
+            for key, value in sorted(self._values.items())
+        }
+
+    def _snapshot_one(self, value: Any) -> Any:
+        return value
+
+
+def _format(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+
+class Gauge(_Metric):
+    """Point-in-time value (queue depth, backlog target, cache size)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+
+class Histogram(_Metric):
+    """Distribution over fixed buckets; exposes ``_bucket``/``_sum``/``_count``."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        lock: threading.Lock,
+        buckets: tuple[float, ...] = LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, label_names, lock)
+        if tuple(sorted(buckets)) != tuple(buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = {"counts": [0] * len(self.buckets), "sum": 0.0,
+                         "count": 0}
+                self._values[key] = state
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state["counts"][index] += 1
+                    break
+            state["sum"] += value
+            state["count"] += 1
+
+    def _render_one(self, key: tuple[str, ...], state: dict) -> list[str]:
+        lines = []
+        cumulative = 0
+        for bound, count in zip(self.buckets, state["counts"]):
+            cumulative += count
+            labels = self._bucket_labels(key, _format(bound))
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        labels = self._bucket_labels(key, "+Inf")
+        lines.append(f"{self.name}_bucket{labels} {state['count']}")
+        plain = self._render_labels(key)
+        lines.append(f"{self.name}_sum{plain} {_format(state['sum'])}")
+        lines.append(f"{self.name}_count{plain} {state['count']}")
+        return lines
+
+    def _bucket_labels(self, key: tuple[str, ...], le: str) -> str:
+        pairs = [
+            f'{name}="{_escape_label(value)}"'
+            for name, value in zip(self.label_names, key)
+        ]
+        pairs.append(f'le="{le}"')
+        return "{" + ", ".join(pairs) + "}"
+
+    def _quantile(self, state: dict, q: float) -> float:
+        """Bucket-boundary upper estimate of the q-quantile."""
+        target = q * state["count"]
+        cumulative = 0
+        for bound, count in zip(self.buckets, state["counts"]):
+            cumulative += count
+            if cumulative >= target:
+                return bound
+        return math.inf
+
+    def _snapshot_one(self, state: dict) -> dict[str, float]:
+        if not state["count"]:
+            return {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0}
+        return {
+            "count": state["count"],
+            "sum": state["sum"],
+            "p50": self._quantile(state, 0.5),
+            "p95": self._quantile(state, 0.95),
+        }
+
+
+class MetricsRegistry:
+    """Lazy, idempotent registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get(self, cls, name: str, help_text: str,
+             labels: Iterable[str], **kwargs) -> _Metric:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        label_names = tuple(labels)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if existing.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.label_names}, not {label_names}"
+                    )
+                return existing
+            metric = cls(name, help_text, label_names, self._lock, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Iterable[str] = ()) -> Counter:
+        return self._get(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Iterable[str] = ()) -> Gauge:
+        return self._get(Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Iterable[str] = (),
+                  buckets: tuple[float, ...] = LATENCY_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help_text, labels, buckets=buckets)
+
+    def render_prometheus(self) -> str:
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-JSON view for dashboard tiles and tests."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {
+            name: {
+                "kind": metric.kind,
+                "help": metric.help,
+                "values": metric.snapshot_values(),
+            }
+            for name, metric in sorted(metrics.items())
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (tests; never called in production paths)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry every instrumented module records into.
+METRICS = MetricsRegistry()

@@ -1,0 +1,138 @@
+"""Aggregate trace JSONL files into a per-stage time-attribution table.
+
+Powers ``autolock trace summarize PATH [PATH ...]``. Spans from several
+files (one per worker process) aggregate cleanly because parent links
+are only ever resolved within a file.
+
+Per span name the table reports call count, cumulative wall time, *self*
+wall time (cumulative minus time inside direct child spans — where the
+stage itself spent time, not its callees), and p50/p95 of the per-call
+wall times. ``coverage`` is the fraction of root-span wall time that is
+attributed to named child spans; the CLI's ``--min-coverage`` turns it
+into a gate ("did we instrument enough of the run to trust the table").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence, Union
+
+
+def load_spans(paths: Iterable[Union[str, Path]]) -> list[dict[str, Any]]:
+    """Read span records from trace files; meta/corrupt lines skipped.
+
+    Each span gains a ``file`` index so ids from different files never
+    collide when parent links are resolved.
+    """
+    spans: list[dict[str, Any]] = []
+    for file_index, path in enumerate(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line from a killed worker
+                if "span" not in record or "name" not in record:
+                    continue  # meta/header record
+                record["file"] = file_index
+                spans.append(record)
+    return spans
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def summarize(spans: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Fold spans into per-name rows plus root totals and coverage."""
+    child_wall: dict[tuple[int, int], float] = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None:
+            key = (record["file"], parent)
+            child_wall[key] = child_wall.get(key, 0.0) + record["wall_s"]
+
+    by_name: dict[str, dict[str, Any]] = {}
+    total_root_wall = 0.0
+    total_root_self = 0.0
+    for record in spans:
+        wall = float(record["wall_s"])
+        in_children = child_wall.get((record["file"], record["span"]), 0.0)
+        self_wall = max(0.0, wall - in_children)
+        row = by_name.setdefault(record["name"], {
+            "calls": 0, "cum_s": 0.0, "self_s": 0.0, "cpu_s": 0.0,
+            "walls": [],
+        })
+        row["calls"] += 1
+        row["cum_s"] += wall
+        row["self_s"] += self_wall
+        row["cpu_s"] += float(record.get("cpu_s", 0.0))
+        row["walls"].append(wall)
+        if record.get("parent") is None:
+            total_root_wall += wall
+            total_root_self += self_wall
+
+    rows = []
+    for name, row in by_name.items():
+        walls = sorted(row.pop("walls"))
+        rows.append({
+            "name": name,
+            "calls": row["calls"],
+            "cum_s": row["cum_s"],
+            "self_s": row["self_s"],
+            "cpu_s": row["cpu_s"],
+            "p50_s": _percentile(walls, 0.50),
+            "p95_s": _percentile(walls, 0.95),
+        })
+    rows.sort(key=lambda r: (-r["cum_s"], r["name"]))
+
+    coverage = (
+        1.0 - (total_root_self / total_root_wall)
+        if total_root_wall > 0 else 0.0
+    )
+    return {
+        "rows": rows,
+        "spans": len(spans),
+        "root_wall_s": total_root_wall,
+        "coverage": coverage,
+    }
+
+
+def format_table(summary: dict[str, Any], *, limit: int | None = None) -> str:
+    """Render the summary as an aligned plain-text table."""
+    rows = summary["rows"][:limit] if limit else summary["rows"]
+    header = ("stage", "calls", "cum_s", "self_s", "cpu_s", "p50_s", "p95_s")
+    table = [header]
+    for row in rows:
+        table.append((
+            row["name"],
+            str(row["calls"]),
+            f"{row['cum_s']:.3f}",
+            f"{row['self_s']:.3f}",
+            f"{row['cpu_s']:.3f}",
+            f"{row['p50_s']:.3f}",
+            f"{row['p95_s']:.3f}",
+        ))
+    widths = [max(len(line[col]) for line in table)
+              for col in range(len(header))]
+    lines = []
+    for index, line in enumerate(table):
+        cells = [line[0].ljust(widths[0])]
+        cells.extend(cell.rjust(width)
+                     for cell, width in zip(line[1:], widths[1:]))
+        lines.append("  ".join(cells).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    lines.append("")
+    lines.append(
+        f"{summary['spans']} spans, root wall {summary['root_wall_s']:.3f}s, "
+        f"coverage {summary['coverage'] * 100:.1f}%"
+    )
+    return "\n".join(lines)

@@ -21,7 +21,11 @@ shared filesystem, no extra dependencies. It exposes:
 * ``GET /status`` — the live dashboard: JSON with ``?format=json``,
   otherwise a plain auto-refreshing HTML view of per-sweep
   pending/leased/done/failed counts, per-worker lease ages and
-  last-seen identities, and completion throughput.
+  last-seen identities, cache traffic, and completion throughput;
+* ``GET /metrics`` — Prometheus text exposition of the process-wide
+  :data:`~repro.obs.metrics.METRICS` registry (request counters and
+  latencies, queue depths, cache lookups), refreshed with scrape-time
+  gauges from the backing store.
 
 Every request requires the campaign bearer token (``Authorization:
 Bearer <token>``; the dashboard and stream also accept ``?token=`` so a
@@ -46,11 +50,43 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro._version import __version__
 from repro.errors import ReproError, StoreError
+from repro.obs import metrics as obs_metrics
 from repro.store.base import (
     STATUS_CLAIMED,
     ensure_queue,
     is_url,
     open_store,
+)
+
+_REQUESTS = obs_metrics.METRICS.counter(
+    "autolock_http_requests_total",
+    "Campaign-server requests by route family, method, and status code",
+    labels=("route", "method", "code"),
+)
+_REQUEST_SECONDS = obs_metrics.METRICS.histogram(
+    "autolock_http_request_seconds",
+    "Campaign-server request handling wall time by route family",
+    labels=("route",),
+)
+_SERVER_CACHE_LOOKUPS = obs_metrics.METRICS.counter(
+    "autolock_server_cache_lookups_total",
+    "kv get operations answered by the campaign server, by result "
+    "(remote workers' fitness-cache read-throughs)",
+    labels=("result",),
+)
+_QUEUE_POINTS = obs_metrics.METRICS.gauge(
+    "autolock_queue_points",
+    "Sweep-queue points by sweep and status (scrape-time)",
+    labels=("sweep_id", "status"),
+)
+_STORE_ENTRIES = obs_metrics.METRICS.gauge(
+    "autolock_store_entries",
+    "kv entries in the backing store (scrape-time)",
+)
+_QUEUE_FRESH = obs_metrics.METRICS.gauge(
+    "autolock_queue_fresh_evaluations",
+    "Fresh attack evaluations recorded on completed queue points "
+    "(scrape-time)",
 )
 
 #: namespace whose puts are mirrored into the results log. Kept as a
@@ -105,6 +141,11 @@ class CampaignServer:
         self._clients: dict[str, dict[str, float | int]] = {}
         #: recent completion timestamps (throughput readout).
         self._completions: deque[float] = deque()
+        #: kv get ledger: remote FitnessCache read-throughs land here, so
+        #: the dashboard sees hit/miss traffic even though the caches
+        #: themselves live in worker processes on other machines.
+        self._cache_hits = 0
+        self._cache_misses = 0
         self.started_at = time.time()
         self._httpd = _CampaignHTTPServer((host, port), _CampaignHandler)
         self._httpd.campaign = self
@@ -168,7 +209,14 @@ class CampaignServer:
             if op == "load":
                 return store.load_namespace(payload["namespace"])
             if op == "get":
-                return store.get(payload["namespace"], payload["key"])
+                value = store.get(payload["namespace"], payload["key"])
+                result = "miss" if value is None else "hit"
+                _SERVER_CACHE_LOOKUPS.inc(result=result)
+                if value is None:
+                    self._cache_misses += 1
+                else:
+                    self._cache_hits += 1
+                return value
             if op == "put":
                 return self._put_many(
                     payload["namespace"], payload["entries"]
@@ -288,12 +336,14 @@ class CampaignServer:
         now = time.time()
         recent = [t for t in self._completions if t >= now - 60.0]
         leases = []
+        fresh_evaluations = 0
         sweeps = backing.get("sweeps", {})
         queue = self.store if hasattr(self.store, "points") else None
         for sweep_id, counts in sweeps.items():
-            if queue is None or not counts.get(STATUS_CLAIMED):
+            if queue is None:
                 continue
             for point in queue.points(sweep_id):
+                fresh_evaluations += int(point["fresh_evaluations"] or 0)
                 if point["status"] != STATUS_CLAIMED:
                     continue
                 leases.append(
@@ -307,6 +357,14 @@ class CampaignServer:
                         ),
                     }
                 )
+        # Always-present cache section: remote workers' read-throughs as
+        # seen server-side, plus the fresh-evaluation total persisted on
+        # the queue rows (zeros before any traffic, never omitted).
+        backing["cache"] = {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "fresh_evaluations": fresh_evaluations,
+        }
         backing["server"] = {
             "url": self.url,
             "version": __version__,
@@ -331,6 +389,32 @@ class CampaignServer:
             },
         }
         return backing
+
+    def metrics_text(self) -> str:
+        """Prometheus text for ``GET /metrics``.
+
+        Counters and histograms accumulate as requests arrive; gauges
+        that mirror store state (entries, queue depths, fresh
+        evaluations) are refreshed from the backing store at scrape
+        time so a scrape never serves stale depths.
+        """
+        with self._store_lock:
+            backing = self.store.status()
+            _STORE_ENTRIES.set(backing.get("entries", 0))
+            queue = self.store if hasattr(self.store, "points") else None
+            fresh = 0
+            for sweep_id, counts in backing.get("sweeps", {}).items():
+                for point_status, count in counts.items():
+                    _QUEUE_POINTS.set(
+                        count, sweep_id=sweep_id, status=point_status
+                    )
+                if queue is not None:
+                    fresh += sum(
+                        int(p["fresh_evaluations"] or 0)
+                        for p in queue.points(sweep_id)
+                    )
+            _QUEUE_FRESH.set(fresh)
+        return obs_metrics.METRICS.render_prometheus()
 
     def dashboard_html(self) -> str:
         """The auto-refreshing plain-HTML view of :meth:`status`."""
@@ -370,6 +454,19 @@ class CampaignServer:
             )
             for worker_id, row in server["workers"].items()
         ) or "<tr><td colspan=3>(no workers seen yet)</td></tr>"
+        cache = status["cache"]
+        throughput = server["throughput"]
+        tiles = (
+            ("cache hits", cache["hits"]),
+            ("cache misses", cache["misses"]),
+            ("fresh evaluations", cache["fresh_evaluations"]),
+            ("completed last 60s", throughput["completed_last_60s"]),
+            ("completions tracked", throughput["completed_tracked"]),
+        )
+        metric_tiles = "".join(
+            f"<td><b>{esc(label)}</b><br>{esc(value)}</td>"
+            for label, value in tiles
+        )
         return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8">
 <meta http-equiv="refresh" content="2">
@@ -385,7 +482,10 @@ class CampaignServer:
  ({esc(status.get('backend', '?'))}) &middot; {status.get('entries', 0)}
  kv entries &middot; up {server['uptime_s']}s &middot;
  throughput {server['throughput']['completed_last_60s']}/min &middot;
- results log {server['results_bytes']} bytes</p>
+ results log {server['results_bytes']} bytes &middot;
+ <a href="/metrics">/metrics</a></p>
+<h2>metrics</h2>
+<table><tr>{metric_tiles}</tr></table>
 <h2>sweeps</h2>
 <table><tr><th>sweep</th><th>pending</th><th>leased</th><th>done</th>
 <th>failed</th></tr>{sweep_rows}</table>
@@ -450,14 +550,49 @@ class _CampaignHandler(BaseHTTPRequestHandler):
     def _route(path: str) -> str:
         """The canonical route, ignoring any cosmetic base path — so
         ``open_store("http://host:8787/campaign")`` works unchanged."""
-        for marker in ("/api/", "/stream/", "/status"):
+        for marker in ("/api/", "/stream/", "/status", "/metrics"):
             index = path.find(marker)
             if index >= 0:
                 return path[index:]
         return path
 
+    @classmethod
+    def _route_family(cls, path: str) -> str:
+        """Low-cardinality route label for the request metrics."""
+        route = cls._route(path)
+        for family in ("/api/kv", "/api/queue", "/stream/results",
+                       "/status", "/metrics"):
+            if route.startswith(family):
+                return family
+        return "other"
+
+    def send_response(self, code: int, message: str | None = None) -> None:
+        self._last_code = code
+        super().send_response(code, message)
+
+    def _timed(self, method: str, handler) -> None:
+        """Run one verb handler, recording count + latency per route."""
+        started = time.perf_counter()
+        self._last_code = 0
+        try:
+            handler()
+        finally:
+            route = self._route_family(urlsplit(self.path).path)
+            _REQUESTS.inc(
+                route=route, method=method, code=str(self._last_code)
+            )
+            _REQUEST_SECONDS.observe(
+                time.perf_counter() - started, route=route
+            )
+
     # -- verbs ----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        self._timed("POST", self._handle_post)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        self._timed("GET", self._handle_get)
+
+    def _handle_post(self) -> None:
         parts = urlsplit(self.path)
         query = parse_qs(parts.query)
         if not self._authorized(query):
@@ -487,12 +622,22 @@ class _CampaignHandler(BaseHTTPRequestHandler):
             return
         self._send_json(200, {"result": result})
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+    def _handle_get(self) -> None:
         parts = urlsplit(self.path)
         query = parse_qs(parts.query)
         if not self._authorized(query):
             return
         route = self._route(parts.path)
+        if route.startswith("/metrics"):
+            body = self.campaign.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
         if route.startswith("/status"):
             if query.get("format", [""])[0] == "json":
                 with self.campaign._store_lock:

@@ -154,6 +154,7 @@ class JSONStore:
                 },
                 "entries": sum(len(entries) for entries in payload.values()),
                 "sweeps": {},  # no work queue on this backend
+                "fresh_evaluations": 0,
             }
 
     def close(self) -> None:

@@ -290,6 +290,9 @@ class SQLiteStore:
             "GROUP BY sweep_id, status ORDER BY sweep_id"
         ):
             sweeps.setdefault(sweep_id, {})[point_status] = count
+        fresh = self._query(
+            "SELECT COALESCE(SUM(fresh_evaluations), 0) FROM sweep_points"
+        )
         return {
             "backend": "sqlite",
             "path": str(self.path),
@@ -297,6 +300,7 @@ class SQLiteStore:
             "namespaces": namespace_counts,
             "entries": sum(namespace_counts.values()),
             "sweeps": sweeps,
+            "fresh_evaluations": int(fresh[0][0]) if fresh else 0,
         }
 
     def entry_updated_at(self, namespace: str, key: str) -> float | None:

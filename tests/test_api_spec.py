@@ -120,6 +120,15 @@ def test_fingerprint_ignores_execution_knobs():
     # The tag is a label, not an input: relabelled reruns must share
     # cached experiment records.
     assert spec.fingerprint() == spec.with_updates(tag="relabelled").fingerprint()
+    # Tracing is pure observation: a traced rerun must replay the
+    # untraced run's cached record byte for byte.
+    assert spec.fingerprint() == spec.with_updates(
+        trace="spans.jsonl"
+    ).fingerprint()
+    assert "trace" not in spec.deterministic_dict()
+    assert spec.with_updates(trace="spans.jsonl").to_dict()["trace"] == (
+        "spans.jsonl"
+    )  # round-trips through JSON even though fingerprints ignore it
     assert spec.fingerprint() != spec.with_updates(seed=4).fingerprint()
     assert spec.fingerprint() != spec.with_updates(
         attack_params={"predictor": "bayes"}

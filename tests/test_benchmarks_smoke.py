@@ -43,6 +43,7 @@ BENCH_ENTRY_POINTS = [
     ("bench_sweep_throughput", "run_throughput"),
     ("bench_campaign_service", "run_campaign_service"),
     ("bench_async_loop", "run_async_loop"),
+    ("bench_async_loop", "run_disabled_telemetry_overhead"),
     ("bench_delta_relock", "run_delta_relock"),
     ("bench_alphabet_ablation", "run_alphabet_ablation"),
 ]

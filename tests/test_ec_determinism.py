@@ -132,3 +132,27 @@ def test_nsga2_front_golden_rand100():
         h["best_per_objective"] == [0.0, 0.33333333333333337]
         for h in result.history
     )
+
+
+def test_ga_trajectory_golden_unchanged_by_tracing(tmp_path):
+    """Telemetry is pure observation: the same golden trajectory must
+    fall out whether spans are being recorded or not."""
+    from repro.obs import trace as obs_trace
+
+    circuit = load_circuit("rand_100_7")
+    config = GaConfig(
+        key_length=10,
+        population_size=8,
+        generations=8,
+        mutation="key_only",
+        seed=42,
+    )
+    with obs_trace.tracing(tmp_path / "ga.jsonl"):
+        result = GeneticAlgorithm(config).run(circuit, ones_fitness)
+    assert not obs_trace.enabled()
+    assert [s.best for s in result.history] == GA_RAND100_BESTS
+    assert [s.mean for s in result.history] == GA_RAND100_MEANS
+    assert _champion_sha(result.best_genotype) == GA_RAND100_SHA
+    # and the trace actually recorded the loop's stages
+    spans = (tmp_path / "ga.jsonl").read_text()
+    assert '"loop.run"' in spans and '"loop.evaluate"' in spans

@@ -436,3 +436,73 @@ def test_fitness_cache_keeps_url_paths_verbatim(server):
     key = (("mux", 3, 7),)  # genotype-shaped: a tuple of gene tuples
     cache.put(key, 0.25)
     assert FitnessCache(path=server.url, namespace="fit").get(key) == 0.25
+
+
+def test_status_json_shape_pinned(server):
+    """The /status JSON contract: cache and throughput sections always
+    present — zeros, never omitted, before any traffic arrives."""
+    status = json.loads(
+        urllib.request.urlopen(
+            f"{server.url}/status?format=json&token={TOKEN}", timeout=5
+        ).read()
+    )["result"]
+    assert {
+        "backend", "path", "exists", "namespaces", "entries", "sweeps",
+        "fresh_evaluations", "cache", "server",
+    } <= set(status)
+    assert status["cache"] == {
+        "hits": 0, "misses": 0, "fresh_evaluations": 0,
+    }
+    throughput = status["server"]["throughput"]
+    assert throughput == {
+        "completed_last_60s": 0,
+        "completed_per_min": 0,
+        "completed_tracked": 0,
+    }
+
+    # traffic moves the ledgers: one kv miss, one hit, one completion
+    store = HttpStore(server.url)
+    store.put_many("fit_ns", {"k": 1.0})
+    assert store.get("fit_ns", "nope") is None
+    assert store.get("fit_ns", "k") == 1.0
+    store.enqueue_points("shape", {"fp": {"x": 1}})
+    store.claim("shape", "w-shape", 30.0)
+    store.complete("shape", "fp", "w-shape", fresh_evaluations=3)
+
+    status = store.status()
+    assert status["cache"]["hits"] == 1
+    assert status["cache"]["misses"] == 1
+    assert status["cache"]["fresh_evaluations"] == 3
+    assert status["fresh_evaluations"] == 3  # backing store agrees
+    assert status["server"]["throughput"]["completed_last_60s"] == 1
+    assert status["server"]["throughput"]["completed_tracked"] == 1
+
+
+def test_metrics_endpoint_serves_prometheus_text(server):
+    store = HttpStore(server.url)
+    store.put_many("exp_ns", {"k": {"v": 2}})
+    store.get("exp_ns", "k")
+    store.enqueue_points("prom", {"fp": {"x": 1}})
+
+    request = urllib.request.Request(f"{server.url}/metrics?token={TOKEN}")
+    with urllib.request.urlopen(request, timeout=5) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        body = response.read().decode()
+
+    # request, queue, and cache metric families, in exposition format
+    assert "# TYPE autolock_http_requests_total counter" in body
+    assert "# TYPE autolock_http_request_seconds histogram" in body
+    assert "# TYPE autolock_queue_points gauge" in body
+    assert "# TYPE autolock_server_cache_lookups_total counter" in body
+    assert 'autolock_server_cache_lookups_total{result="hit"}' in body
+    assert 'autolock_queue_points{sweep_id="prom", status="pending"} 1' in body
+    assert 'route="/api/kv"' in body
+    assert "autolock_store_entries" in body
+    # every line parses as comment or `name{labels} value`
+    for line in body.strip().splitlines():
+        assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(f"{server.url}/metrics", timeout=5)
+    assert excinfo.value.code == 401
