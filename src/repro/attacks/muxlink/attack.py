@@ -42,6 +42,18 @@ _SCORE_SECONDS = obs_metrics.METRICS.histogram(
     "Per-predictor batched link-scoring wall time",
     labels=("predictor",),
 )
+_BATCH_LINKS = obs_metrics.METRICS.histogram(
+    "autolock_predictor_batch_links",
+    "Candidate links handed to one batched score_links call",
+    labels=("predictor",),
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096),
+)
+_SCALAR_FALLBACK = obs_metrics.METRICS.counter(
+    "autolock_predictor_scalar_fallback_total",
+    "Link-scoring calls that took a per-link scalar path instead of a "
+    "batched one, by predictor and reason",
+    labels=("predictor", "reason"),
+)
 
 
 @register_attack("muxlink")
@@ -126,10 +138,14 @@ class MuxLinkAttack(Attack):
                     c = graph.index[consumer]
                     flat_pairs.append((d0, c))
                     flat_pairs.append((d1, c))
+            _BATCH_LINKS.observe(len(flat_pairs), predictor=self.predictor_name)
             score_started = time.perf_counter()
             if score_links is not None:
                 flat_scores = score_links(flat_pairs)
             else:
+                _SCALAR_FALLBACK.inc(
+                    predictor=self.predictor_name, reason="no_batch_api"
+                )
                 flat_scores = [predictor.score_link(u, v) for u, v in flat_pairs]
             _SCORE_SECONDS.observe(
                 time.perf_counter() - score_started,

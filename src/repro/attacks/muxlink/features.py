@@ -47,6 +47,23 @@ def type_index(gtype: str) -> int:
     return _TYPE_INDEX.get(gtype, 0)
 
 
+def graph_type_indices(graph: ObservedGraph) -> np.ndarray:
+    """Per-node :func:`type_index` array, cached on the graph.
+
+    Gate types never change after construction; only adjacency is ever
+    masked/restored, so the cache needs no invalidation beyond a length
+    check (nodes are append-only).
+    """
+    gtypes = graph.gtypes
+    cached = getattr(graph, "_gtype_idx", None)
+    if cached is None or len(cached) != len(gtypes):
+        cached = np.fromiter(
+            (type_index(t) for t in gtypes), dtype=np.intp, count=len(gtypes)
+        )
+        graph._gtype_idx = cached
+    return cached
+
+
 #: extra per-node feature slots beyond type/DRNL one-hots: log-degree plus
 #: clipped level offsets to the two link endpoints.
 SUBGRAPH_EXTRA_FEATURES = 3
@@ -76,6 +93,46 @@ def subgraph_feature_matrix(
         feats[pos, -3] = np.log1p(graph.degree(nid))
         feats[pos, -2] = np.clip(graph.levels[nid] - lvl_u, -4, 4) / 4.0
         feats[pos, -1] = np.clip(graph.levels[nid] - lvl_v, -4, 4) / 4.0
+    return feats
+
+
+def subgraph_feature_matrix_stack(
+    graph: ObservedGraph,
+    subs: list[EnclosingSubgraph],
+    max_label: int = 8,
+) -> np.ndarray:
+    """Row-stacked :func:`subgraph_feature_matrix` for a batch of subgraphs.
+
+    One vectorised pass over the concatenated node lists instead of a
+    Python loop per node: one-hots via fancy indexing, degrees read from
+    the CSR snapshot, level offsets via per-graph repeats. The
+    elementwise ops (``log1p``/``clip``) match the scalar builder, so
+    each block equals its per-subgraph matrix.
+    """
+    if not subs:
+        return np.zeros((0, subgraph_feature_dim(max_label)))
+    gtype_idx = graph_type_indices(graph)
+    indptr, _ = graph.csr()
+    degrees = np.diff(indptr)
+    levels = np.asarray(graph.levels, dtype=np.int64)
+    counts = np.array([sub.n_nodes for sub in subs], dtype=np.int64)
+    offsets = np.zeros(len(subs), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    ids = np.concatenate(
+        [np.asarray(sub.node_ids, dtype=np.int64) for sub in subs]
+    )
+    drnl = np.concatenate([sub.drnl for sub in subs]).astype(np.intp)
+    n_total = ids.size
+    feats = np.zeros((n_total, subgraph_feature_dim(max_label)))
+    rows = np.arange(n_total)
+    feats[rows, gtype_idx[ids]] = 1.0
+    feats[rows, N_TYPES + drnl] = 1.0
+    feats[:, -3] = np.log1p(degrees[ids])
+    node_levels = levels[ids]
+    lvl_u = np.repeat(levels[ids[offsets]], counts)
+    lvl_v = np.repeat(levels[ids[offsets + 1]], counts)
+    feats[:, -2] = np.clip(node_levels - lvl_u, -4, 4) / 4.0
+    feats[:, -1] = np.clip(node_levels - lvl_v, -4, 4) / 4.0
     return feats
 
 
@@ -223,14 +280,7 @@ def link_feature_matrix(
     adj = graph.adj
     hists: dict[int, np.ndarray] = {}
     inv_log_deg: dict[int, float] = {}
-    # Per-node type indices, cached on the graph (gate types never
-    # change; only adjacency is ever masked/restored).
-    gtype_idx = getattr(graph, "_gtype_idx", None)
-    if gtype_idx is None or len(gtype_idx) != len(gtypes):
-        gtype_idx = np.fromiter(
-            (type_index(t) for t in gtypes), dtype=np.intp, count=len(gtypes)
-        )
-        graph._gtype_idx = gtype_idx
+    gtype_idx = graph_type_indices(graph)
 
     def hist(node: int) -> np.ndarray:
         h = hists.get(node)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 
@@ -50,6 +52,11 @@ class ObservedGraph:
     #: an attacker can always compute this, and locality in levels is the
     #: key structural signal separating true links from D-MUX decoys.
     levels: list[int] = field(default_factory=list)
+    #: bumped on every adjacency mutation; invalidates the CSR snapshot.
+    _adj_version: int = field(default=0, repr=False)
+    _csr_cache: tuple[int, np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False
+    )
 
     def add_node(self, name: str, gtype: str, gate: bool) -> int:
         if name in self.index:
@@ -69,6 +76,7 @@ class ObservedGraph:
         self.adj[u].add(v)
         self.adj[v].add(u)
         self.directed_edges.append((u, v))
+        self._adj_version += 1
 
     @property
     def n_nodes(self) -> int:
@@ -111,12 +119,40 @@ class ObservedGraph:
         if v in self.adj[u]:
             self.adj[u].discard(v)
             self.adj[v].discard(u)
+            self._adj_version += 1
             return True
         return False
 
     def restore_undirected(self, u: int, v: int) -> None:
         self.adj[u].add(v)
         self.adj[v].add(u)
+        self._adj_version += 1
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR snapshot of the undirected adjacency: ``(indptr, indices)``.
+
+        Row ``i``'s neighbours are ``indices[indptr[i]:indptr[i+1]]``,
+        sorted ascending. Rebuilt lazily when the adjacency changes
+        (including :meth:`remove_undirected`/:meth:`restore_undirected`
+        masking), so bulk callers — the batched subgraph extractor, the
+        stacked GNN feature builder — amortise one build across a whole
+        population of link queries. BFS over these flat int arrays
+        replaces the per-query dict/set churn of the scalar extractor.
+        """
+        cache = self._csr_cache
+        if cache is not None and cache[0] == self._adj_version:
+            return cache[1], cache[2]
+        n = self.n_nodes
+        counts = np.fromiter(
+            (len(s) for s in self.adj), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for i, nbrs in enumerate(self.adj):
+            indices[indptr[i] : indptr[i + 1]] = sorted(nbrs)
+        self._csr_cache = (self._adj_version, indptr, indices)
+        return indptr, indices
 
 
 def extract_observed(netlist: Netlist) -> tuple[ObservedGraph, list[MuxQuery]]:

@@ -16,10 +16,22 @@ Auth is a bearer token (``token=`` or the :data:`TOKEN_ENV` environment
 variable — worker processes inherit it across ``multiprocessing``
 spawns) plus a per-client identity sent as ``X-Worker-Id`` on every
 request, which the server's dashboard surfaces as last-seen/requests per
-worker. Failures never leak urllib tracebacks: an unreachable or
+worker. Failures never leak http.client tracebacks: an unreachable or
 unauthorized server raises :class:`~repro.errors.StoreError` with a
 one-line actionable message (host, port, auth hint) that the CLI maps to
 exit code 2.
+
+Transport is one persistent ``http.client.HTTPConnection`` per store
+instance (the server speaks HTTP/1.1 keep-alive), so the
+claim/heartbeat/complete chatter of a worker loop pays the TCP handshake
+once instead of per request. The connection is fork-safe — a child
+process detects the inherited socket via a PID stamp and silently opens
+its own, never touching the parent's stream — and self-healing: a
+request that hits a stale keep-alive socket (server idled it out between
+requests) is retried once on a fresh connection. ``keep_alive=False``
+restores one-connection-per-request. Result streams always use a
+dedicated single-use connection so a long tail never starves the
+request/response channel.
 
 This module is imported during store-registry population, so it stays
 stdlib-only and import-cheap (no numpy, no server code).
@@ -31,9 +43,7 @@ import http.client
 import json
 import os
 import socket
-import urllib.error
 import urllib.parse
-import urllib.request
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
@@ -52,6 +62,29 @@ def default_client_id() -> str:
     return f"{socket.gethostname()}:{os.getpid()}"
 
 
+def _set_nodelay(sock) -> None:
+    """Disable Nagle: on a reused keep-alive connection, Nagle holding
+    the second small write until the peer's delayed ACK turns every
+    request into a ~40ms stall (one-shot connections never notice —
+    close() flushes)."""
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except (OSError, AttributeError):  # pragma: no cover - e.g. AF_UNIX
+        pass
+
+
+class _NoDelayHTTPConnection(http.client.HTTPConnection):
+    def connect(self) -> None:
+        super().connect()
+        _set_nodelay(self.sock)
+
+
+class _NoDelayHTTPSConnection(http.client.HTTPSConnection):
+    def connect(self) -> None:
+        super().connect()
+        _set_nodelay(self.sock)
+
+
 @register_store("http")
 class HttpStore:
     """Store backend + work queue proxied over a campaign server."""
@@ -67,6 +100,7 @@ class HttpStore:
         token: str | None = None,
         timeout_s: float = 30.0,
         client_id: str | None = None,
+        keep_alive: bool = True,
     ) -> None:
         url = str(path)
         if not is_url(url):
@@ -78,8 +112,13 @@ class HttpStore:
         self.token = token if token is not None else os.environ.get(TOKEN_ENV, "")
         self.timeout_s = timeout_s
         self.client_id = client_id or default_client_id()
+        self.keep_alive = keep_alive
         parsed = urllib.parse.urlsplit(self.url)
         self._netloc = parsed.netloc or self.url
+        self._scheme = parsed.scheme or "http"
+        self._base_path = parsed.path
+        self._conn: http.client.HTTPConnection | None = None
+        self._conn_pid: int | None = None
 
     # ``FitnessCache`` and the CLI print/compare this like a file path.
     @property
@@ -87,6 +126,58 @@ class HttpStore:
         return self.url
 
     # -- transport ------------------------------------------------------
+    def _open_connection(self, timeout_s: float) -> http.client.HTTPConnection:
+        cls = (
+            _NoDelayHTTPSConnection
+            if self._scheme == "https"
+            else _NoDelayHTTPConnection
+        )
+        return cls(self._netloc, timeout=timeout_s)
+
+    def _checkout(
+        self, timeout_s: float
+    ) -> tuple[http.client.HTTPConnection, bool]:
+        """The connection to use and whether it carries keep-alive state.
+
+        A reused connection may have been idled out by the server since
+        the last request — callers retry once on a fresh one when the
+        first attempt dies with a stale-socket signature.
+        """
+        if not self.keep_alive:
+            return self._open_connection(timeout_s), False
+        if self._conn is not None and self._conn_pid != os.getpid():
+            # Forked child: the socket is the *parent's* stream. Closing
+            # it here would send FIN on their behalf; just drop the
+            # object and open our own.
+            self._conn = None
+        if self._conn is None:
+            self._conn = self._open_connection(timeout_s)
+            self._conn_pid = os.getpid()
+            return self._conn, False
+        conn = self._conn
+        conn.timeout = timeout_s
+        if conn.sock is not None:
+            conn.sock.settimeout(timeout_s)
+        return conn, True
+
+    def _discard(self, conn: http.client.HTTPConnection) -> None:
+        if self._conn is conn:
+            self._conn = None
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - close never matters here
+            pass
+
+    #: a request on a *reused* connection failing one of these ways means
+    #: the server closed the idle socket between requests — retry once on
+    #: a fresh connection before declaring the server unreachable.
+    _STALE_CONN_ERRORS = (
+        http.client.BadStatusLine,
+        http.client.CannotSendRequest,
+        ConnectionResetError,
+        BrokenPipeError,
+    )
+
     def _request(
         self, route: str, payload: dict | None, *, method: str = "POST",
         timeout_s: float | None = None, stream: bool = False,
@@ -99,41 +190,73 @@ class HttpStore:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            f"{self.url}{route}", data=data, headers=headers, method=method
-        )
-        try:
-            response = urllib.request.urlopen(
-                request, timeout=timeout_s or self.timeout_s
-            )
-        except urllib.error.HTTPError as exc:
-            detail = ""
-            try:
-                body = json.loads(exc.read().decode("utf-8", "replace"))
-                detail = body.get("error", "")
-            except Exception:  # noqa: BLE001 - body is best-effort context
-                pass
-            if exc.code in (401, 403):
-                raise StoreError(
-                    f"campaign server at {self._netloc} rejected credentials "
-                    f"({exc.code}): pass --token / set {TOKEN_ENV} to the "
-                    "token `autolock serve` printed"
-                ) from None
-            raise StoreError(
-                f"campaign server at {self._netloc} refused "
-                f"{route} ({exc.code}): {detail or exc.reason}"
-            ) from None
-        except (urllib.error.URLError, OSError) as exc:
-            reason = getattr(exc, "reason", exc)
-            raise StoreError(
-                f"cannot reach campaign server at {self._netloc}: {reason} — "
-                "is `autolock serve` running on that host/port?"
-            ) from None
+        timeout = timeout_s or self.timeout_s
+        target = f"{self._base_path}{route}"
+
         if stream:
+            # Dedicated single-use connection: a long tail must not
+            # occupy (or inherit the timeout of) the request channel.
+            conn = self._open_connection(timeout)
+            try:
+                response = self._roundtrip(conn, method, target, data, headers)
+            except (http.client.HTTPException, OSError) as exc:
+                conn.close()
+                self._raise_unreachable(exc)
+            if response.status != 200:
+                body = response.read()
+                conn.close()
+                self._raise_http_error(route, response, body)
+            response.stream_conn = conn  # closed by stream_results
             return response
-        with response:
-            body = response.read()
+
+        for retry_left in (True, False):
+            conn, reused = self._checkout(timeout)
+            try:
+                response = self._roundtrip(conn, method, target, data, headers)
+                # Drain fully so a keep-alive connection is reusable.
+                body = response.read()
+            except self._STALE_CONN_ERRORS as exc:
+                self._discard(conn)
+                if reused and retry_left:
+                    continue
+                self._raise_unreachable(exc)
+            except (http.client.HTTPException, OSError) as exc:
+                self._discard(conn)
+                self._raise_unreachable(exc)
+            break
+        if not self.keep_alive:
+            conn.close()
+        if response.status != 200:
+            self._raise_http_error(route, response, body)
         return json.loads(body) if body else None
+
+    def _roundtrip(self, conn, method, target, data, headers):
+        conn.request(method, target, body=data, headers=headers)
+        return conn.getresponse()
+
+    def _raise_unreachable(self, exc: BaseException) -> None:
+        reason = getattr(exc, "reason", exc)
+        raise StoreError(
+            f"cannot reach campaign server at {self._netloc}: {reason} — "
+            "is `autolock serve` running on that host/port?"
+        ) from None
+
+    def _raise_http_error(self, route: str, response, body: bytes) -> None:
+        detail = ""
+        try:
+            detail = json.loads(body.decode("utf-8", "replace")).get("error", "")
+        except Exception:  # noqa: BLE001 - body is best-effort context
+            pass
+        if response.status in (401, 403):
+            raise StoreError(
+                f"campaign server at {self._netloc} rejected credentials "
+                f"({response.status}): pass --token / set {TOKEN_ENV} to the "
+                "token `autolock serve` printed"
+            ) from None
+        raise StoreError(
+            f"campaign server at {self._netloc} refused "
+            f"{route} ({response.status}): {detail or response.reason}"
+        ) from None
 
     def _call(self, op: str, payload: dict | None = None) -> Any:
         reply = self._request(f"/api/{op}", payload or {})
@@ -180,7 +303,18 @@ class HttpStore:
         )
 
     def close(self) -> None:
-        """Connections are per-request; nothing to release."""
+        """Release the persistent keep-alive connection, if any.
+
+        Only the process that opened the socket closes it; a forked
+        child's inherited handle is dropped without touching the
+        parent's stream.
+        """
+        conn, self._conn = self._conn, None
+        if conn is not None and self._conn_pid == os.getpid():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close never matters here
+                pass
 
     # -- WorkQueue ------------------------------------------------------
     def enqueue_points(
@@ -319,6 +453,10 @@ class HttpStore:
                         yield position, json.loads(line)
         except _STREAM_END_ERRORS:
             return  # idle past timeout_s or server went away mid-tail
+        finally:
+            conn = getattr(response, "stream_conn", None)
+            if conn is not None:
+                conn.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"HttpStore({self.url!r})"

@@ -508,6 +508,9 @@ class _CampaignHTTPServer(ThreadingHTTPServer):
 class _CampaignHandler(BaseHTTPRequestHandler):
     server_version = "autolock-campaign"
     protocol_version = "HTTP/1.1"
+    # Nagle + the client's delayed ACK would stall every keep-alive
+    # response ~40ms (headers and body are separate small writes).
+    disable_nagle_algorithm = True
 
     # -- plumbing -------------------------------------------------------
     @property
@@ -595,6 +598,11 @@ class _CampaignHandler(BaseHTTPRequestHandler):
     def _handle_post(self) -> None:
         parts = urlsplit(self.path)
         query = parse_qs(parts.query)
+        # Drain the body *before* any early return (auth reject, unknown
+        # endpoint): unread bytes would desynchronise a keep-alive
+        # connection, corrupting the client's next request.
+        length = int(self.headers.get("Content-Length", "0"))
+        raw_body = self.rfile.read(length)
         if not self._authorized(query):
             return
         route = self._route(parts.path)
@@ -602,8 +610,7 @@ class _CampaignHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown endpoint {route!r}"})
             return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            payload = json.loads(self.rfile.read(length) or b"{}")
+            payload = json.loads(raw_body or b"{}")
             group, _, op = route[len("/api/"):].partition("/")
             if group == "kv":
                 result = self.campaign.kv_op(op, payload)

@@ -5,11 +5,16 @@ import pytest
 
 from repro.attacks.muxlink.gnn import (
     GnnLinkPredictor,
+    _BlockDiagAdj,
     _GraphConvStack,
     normalized_adjacency,
+    resolve_gnn_batch,
 )
 from repro.attacks.muxlink.graph import ObservedGraph
-from repro.attacks.muxlink.subgraph import extract_enclosing_subgraph
+from repro.attacks.muxlink.subgraph import (
+    extract_enclosing_subgraph,
+    extract_enclosing_subgraphs,
+)
 
 
 def test_normalized_adjacency_rows_sum_to_one():
@@ -123,3 +128,181 @@ def test_gnn_subgraph_pipeline_on_disconnected_pair():
     predictor = GnnLinkPredictor(hidden_dims=(4,), epochs=1, n_train=4)
     predictor.fit(g, seed_or_rng=2)
     assert np.isfinite(predictor.score_link(a, d))
+
+
+# ----------------------------------------------------------- batched path
+def _random_graph(n=60, n_edges=150, seed=0):
+    rng = np.random.default_rng(seed)
+    g = ObservedGraph()
+    types = ["AND", "OR", "NAND", "NOR", "XOR", "INV"]
+    for i in range(n):
+        g.add_node(f"n{i}", types[int(rng.integers(0, len(types)))], gate=True)
+    for _ in range(n_edges):
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u != v:
+            g.add_edge(u, v)
+    g.compute_levels()
+    return g
+
+
+def _sample_pairs(g, k, seed=1):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    while len(pairs) < k:
+        u, v = int(rng.integers(0, g.n_nodes)), int(rng.integers(0, g.n_nodes))
+        if u != v:
+            pairs.append((u, v))
+    return pairs
+
+
+def test_batched_extraction_equals_scalar():
+    g = _random_graph()
+    # mix of random pairs, true edges, and a disconnected pair
+    pairs = _sample_pairs(g, 20)
+    pairs += [tuple(g.directed_edges[0]), tuple(g.directed_edges[7])]
+    iso = g.add_node("iso", "AND", gate=True)
+    g.compute_levels()
+    pairs.append((0, iso))
+    batched = extract_enclosing_subgraphs(g, pairs, hops=2, max_nodes=40)
+    for (u, v), got in zip(pairs, batched):
+        want = extract_enclosing_subgraph(g, u, v, hops=2, max_nodes=40)
+        assert got.node_ids == want.node_ids
+        assert np.array_equal(got.adj, want.adj)
+        assert np.array_equal(got.drnl, want.drnl)
+
+
+def test_block_diag_operator_matches_dense():
+    g = _random_graph(n=30, n_edges=70, seed=3)
+    subs = extract_enclosing_subgraphs(g, _sample_pairs(g, 5, seed=4), hops=2)
+    sizes = {sub.n_nodes for sub in subs}
+    assert len(sizes) > 1, "want a ragged batch"
+    op = _BlockDiagAdj.from_subgraphs(subs)
+    blocks = [normalized_adjacency(sub.adj) for sub in subs]
+    n_total = sum(b.shape[0] for b in blocks)
+    dense = np.zeros((n_total, n_total))
+    at = 0
+    for b in blocks:
+        dense[at : at + b.shape[0], at : at + b.shape[0]] = b
+        at += b.shape[0]
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(n_total, 6))
+    assert np.allclose(op @ x, dense @ x)
+    assert np.allclose(op.T @ x, dense.T @ x)
+    assert op.T.T is op
+
+
+def test_batched_logits_match_scalar_on_ragged_batch():
+    """No padding/block-diag leakage: every logit in a ragged batch equals
+    the same link scored alone through the scalar path."""
+    g = _random_graph(seed=5)
+    predictor = GnnLinkPredictor(
+        hidden_dims=(8, 4), mlp_hidden=8, epochs=2, n_train=30, batch="auto"
+    )
+    predictor.fit(g, seed_or_rng=9)
+    pairs = _sample_pairs(g, 17, seed=6)  # odd count, ragged sizes
+    batched = predictor.score_links(pairs)
+    scalar = np.array([predictor.score_link(u, v) for u, v in pairs])
+    assert batched.shape == (17,)
+    assert np.allclose(batched, scalar, rtol=0, atol=1e-9)
+
+
+def test_batched_backward_matches_finite_differences():
+    """FD check through the full batched pipeline: block-diagonal conv,
+    segment readout, MLP head — every parameter."""
+    g = _random_graph(n=25, n_edges=60, seed=7)
+    predictor = GnnLinkPredictor(hidden_dims=(5, 3), mlp_hidden=4, batch="auto")
+    predictor._graph = g
+    predictor._build(11)
+    subs = extract_enclosing_subgraphs(
+        g, _sample_pairs(g, 4, seed=8), hops=2, max_nodes=20
+    )
+
+    def loss_now():
+        logits, _ = predictor._forward_batch(subs, train=True)
+        return float((logits**2).sum()), logits
+
+    _, logits = loss_now()
+    for p in predictor.params():
+        p.zero_grad()
+    predictor._forward_batch(subs, train=True)
+    predictor._backward_batch(2.0 * logits, predictor._forward_batch(subs, train=True)[1])
+
+    eps = 1e-6
+    for p in predictor.params():
+        analytic = p.grad.copy()
+        numeric = np.zeros_like(p.value)
+        it = np.nditer(p.value, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            original = p.value[idx]
+            p.value[idx] = original + eps
+            plus, _ = loss_now()
+            p.value[idx] = original - eps
+            minus, _ = loss_now()
+            p.value[idx] = original
+            numeric[idx] = (plus - minus) / (2 * eps)
+            it.iternext()
+        denom = np.maximum(np.abs(analytic) + np.abs(numeric), 1e-8)
+        rel = float(np.max(np.abs(analytic - numeric) / denom))
+        assert rel < 1e-5, f"{p.name}: gradient error {rel}"
+
+
+def test_training_parity_auto_vs_off():
+    g = _random_graph(seed=10)
+    auto = GnnLinkPredictor(hidden_dims=(6, 3), epochs=3, n_train=24, batch="auto")
+    off = GnnLinkPredictor(hidden_dims=(6, 3), epochs=3, n_train=24, batch="off")
+    auto.fit(g, seed_or_rng=13)
+    off.fit(g, seed_or_rng=13)
+    assert np.allclose(auto.train_history, off.train_history, atol=1e-9)
+    pairs = _sample_pairs(g, 10, seed=14)
+    assert np.allclose(
+        auto.score_links(pairs), off.score_links(pairs), atol=1e-9
+    )
+
+
+def test_batch_off_never_enters_batched_code(monkeypatch):
+    """batch="off" must keep the legacy scalar pipeline byte-for-byte; we
+    pin that by making every batched entry point explode."""
+    import repro.attacks.muxlink.gnn as gnn_mod
+
+    def boom(*args, **kwargs):
+        raise AssertionError("batched code path entered with batch='off'")
+
+    monkeypatch.setattr(gnn_mod, "extract_enclosing_subgraphs", boom)
+    monkeypatch.setattr(GnnLinkPredictor, "_forward_batch", boom)
+    monkeypatch.setattr(GnnLinkPredictor, "_backward_batch", boom)
+    monkeypatch.setattr(gnn_mod._BlockDiagAdj, "from_subgraphs", boom)
+
+    g = _ring_graph()
+    predictor = GnnLinkPredictor(hidden_dims=(6,), epochs=2, n_train=10, batch="off")
+    predictor.fit(g, seed_or_rng=1)
+    pairs = [(0, 5), (1, 4), (2, 9)]
+    batched = predictor.score_links(pairs)
+    loop = np.array([predictor.score_link(u, v) for u, v in pairs])
+    assert np.array_equal(batched, loop)  # bitwise, not just close
+
+
+def test_batch_knob_resolution(monkeypatch):
+    from repro.errors import AttackError
+
+    monkeypatch.delenv("REPRO_GNN_BATCH", raising=False)
+    assert resolve_gnn_batch(None) == "auto"
+    assert resolve_gnn_batch("off") == "off"
+    monkeypatch.setenv("REPRO_GNN_BATCH", "off")
+    assert resolve_gnn_batch(None) == "off"
+    assert GnnLinkPredictor().batch == "off"
+    # explicit argument beats the environment
+    assert GnnLinkPredictor(batch="auto").batch == "auto"
+    with pytest.raises(AttackError, match="auto.*off"):
+        resolve_gnn_batch("sometimes")
+    monkeypatch.setenv("REPRO_GNN_BATCH", "bogus")
+    with pytest.raises(AttackError, match="bogus"):
+        GnnLinkPredictor()
+
+
+def test_tiny_batch_takes_scalar_path():
+    g = _ring_graph()
+    predictor = GnnLinkPredictor(hidden_dims=(6,), epochs=1, n_train=10)
+    predictor.fit(g, seed_or_rng=3)
+    single = predictor.score_links([(0, 5)])
+    assert np.array_equal(single, np.array([predictor.score_link(0, 5)]))

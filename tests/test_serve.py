@@ -506,3 +506,100 @@ def test_metrics_endpoint_serves_prometheus_text(server):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         urllib.request.urlopen(f"{server.url}/metrics", timeout=5)
     assert excinfo.value.code == 401
+
+
+# ------------------------------------------------------------ keep-alive
+def test_keepalive_reuses_one_connection(server):
+    store = HttpStore(server.url)
+    store.put_many("ka", {"k": {"v": 1}})
+    sock = store._conn.sock
+    assert sock is not None
+    assert store.get("ka", "k") == {"v": 1}
+    assert store.enqueue_points("ka_sweep", {"fp": {"x": 1}}) == 1
+    assert store.queue_counts("ka_sweep")["pending"] == 1
+    # same TCP connection carried all four requests
+    assert store._conn.sock is sock
+    store.close()
+    assert store._conn is None
+
+
+def test_keep_alive_false_uses_fresh_connections(server):
+    store = HttpStore(server.url, keep_alive=False)
+    store.put_many("ka_off", {"k": {"v": 2}})
+    assert store.get("ka_off", "k") == {"v": 2}
+    assert store._conn is None  # nothing persisted between requests
+
+
+def test_stale_keepalive_connection_retried_once(server, monkeypatch):
+    import http.client
+
+    store = HttpStore(server.url)
+    store.put_many("ka_stale", {"k": {"v": 3}})  # establish the connection
+
+    real = store._roundtrip
+    failures = {"n": 0}
+
+    def flaky(conn, method, target, data, headers):
+        if failures["n"] == 0:
+            failures["n"] += 1
+            raise http.client.BadStatusLine("")  # server idled out the socket
+        return real(conn, method, target, data, headers)
+
+    monkeypatch.setattr(store, "_roundtrip", flaky)
+    # the stale first attempt is retried transparently on a fresh socket
+    assert store.get("ka_stale", "k") == {"v": 3}
+    assert failures["n"] == 1
+
+
+def test_fresh_connection_failure_is_not_retried(server, monkeypatch):
+    import http.client
+
+    store = HttpStore(server.url)  # no prior request: nothing to reuse
+
+    def always_stale(conn, method, target, data, headers):
+        raise http.client.BadStatusLine("")
+
+    monkeypatch.setattr(store, "_roundtrip", always_stale)
+    with pytest.raises(StoreError, match="cannot reach campaign server"):
+        store.get("ka_fresh", "k")
+
+
+def test_forked_child_opens_own_connection(server):
+    store = HttpStore(server.url)
+    store.put_many("ka_fork", {"k": {"v": 4}})
+    parent_conn = store._conn
+    assert parent_conn is not None
+
+    # simulate the post-fork world: the PID stamp no longer matches
+    store._conn_pid = store._conn_pid + 1
+    assert store.get("ka_fork", "k") == {"v": 4}
+    # the child dropped the inherited handle without closing the
+    # parent's socket, and opened its own
+    assert store._conn is not parent_conn
+    assert parent_conn.sock is not None
+
+    # close() in a "child" (stamp mismatch) must also leave the
+    # inherited socket untouched
+    inherited = store._conn
+    store._conn_pid = store._conn_pid + 1
+    store.close()
+    assert store._conn is None
+    assert inherited.sock is not None
+
+
+def test_queue_state_survives_many_keepalive_roundtrips(server):
+    # claim/heartbeat/complete chatter on one persistent connection
+    store = HttpStore(server.url, client_id="ka-worker")
+    n = 8
+    store.enqueue_points("ka_loop", {f"fp{i}": {"x": i} for i in range(n)})
+    done = 0
+    while True:
+        claimed = store.claim("ka_loop", "ka-worker", ttl=30.0)
+        if claimed is None:
+            break
+        assert store.heartbeat("ka_loop", claimed.fingerprint, "ka-worker", 30.0)
+        assert store.complete("ka_loop", claimed.fingerprint, "ka-worker")
+        done += 1
+    assert done == n
+    counts = store.queue_counts("ka_loop")
+    assert counts["done"] == n and counts.get("pending", 0) == 0
