@@ -9,6 +9,8 @@ Oracle-less:
 * :class:`~repro.attacks.snapshot.SnapShotAttack` — locality-vector
   classification with self-supervised re-locking (GSS scenario); cracks
   naive XOR/XNOR RLL, blind on MUX locking.
+* :class:`~repro.attacks.saam.SaamAttack` — loose-node / out-degree
+  structural analysis with key-gate kind reads; no training at all.
 * :class:`~repro.attacks.random_guess.RandomGuessAttack` — the 50 % floor.
 
 Oracle-guided:
@@ -19,6 +21,7 @@ Oracle-guided:
 
 from repro.attacks.base import Attack, AttackReport
 from repro.attacks.random_guess import RandomGuessAttack
+from repro.attacks.saam import SaamAttack
 from repro.attacks.scope import ScopeAttack
 from repro.attacks.snapshot import SnapShotAttack
 from repro.attacks.sat_attack import SatAttack
@@ -28,6 +31,7 @@ __all__ = [
     "Attack",
     "AttackReport",
     "RandomGuessAttack",
+    "SaamAttack",
     "ScopeAttack",
     "SnapShotAttack",
     "SatAttack",

@@ -25,7 +25,11 @@ from repro.attacks.base import Attack, AttackReport
 import repro.attacks.muxlink.bayes  # noqa: F401
 import repro.attacks.muxlink.gnn  # noqa: F401
 import repro.attacks.muxlink.mlp_predictor  # noqa: F401
-from repro.attacks.muxlink.graph import extract_observed
+from repro.attacks.muxlink.graph import (
+    KEYGATE_KIND_BIT,
+    extract_keygates,
+    extract_observed,
+)
 from repro.errors import AttackError
 from repro.locking.base import LockedCircuit
 from repro.obs import metrics as obs_metrics
@@ -69,6 +73,11 @@ class MuxLinkAttack(Attack):
     threshold:
         Minimum |margin| to commit to a key bit; below it the bit is
         reported undecided (MuxLink's deciphering threshold).
+    keygates:
+        Also decide non-MUX key gates (``xor``/``and_or`` insertions) by
+        reading the observed gate kind per
+        :data:`~repro.attacks.muxlink.graph.KEYGATE_KIND_BIT`. Off by
+        default so the historical pure-MUX behaviour is untouched.
     predictor_kwargs:
         Forwarded to the predictor constructor (epochs, hops, ...).
     """
@@ -78,6 +87,7 @@ class MuxLinkAttack(Attack):
         predictor: str = "mlp",
         threshold: float = 0.0,
         ensemble: int = 1,
+        keygates: bool = False,
         **predictor_kwargs,
     ) -> None:
         if predictor not in PREDICTORS:
@@ -90,6 +100,7 @@ class MuxLinkAttack(Attack):
         self.predictor_name = predictor
         self.threshold = float(threshold)
         self.ensemble = ensemble
+        self.keygates = bool(keygates)
         self.predictor_kwargs = predictor_kwargs
         self.name = f"muxlink-{predictor}"
 
@@ -99,11 +110,21 @@ class MuxLinkAttack(Attack):
         graph, queries = extract_observed(locked.netlist)
 
         guesses: dict[str, int | None] = {k: None for k in locked.netlist.key_inputs}
+        n_keygate_sites = 0
+        if self.keygates:
+            # Kind-read of the non-MUX key gates: the observed gate type
+            # of an xor/and_or insertion leaks its bit outright.
+            for site in extract_keygates(locked.netlist):
+                if guesses.get(site.key_name) is None:
+                    guesses[site.key_name] = KEYGATE_KIND_BIT[site.kind]
+                    n_keygate_sites += 1
         if not queries:
-            # Nothing MUX-locked (e.g. an RLL design): every bit undecided.
-            return self._report(
-                locked, guesses, started, extra={"n_sites": 0, "note": "no MUX sites"}
-            )
+            # Nothing MUX-locked (e.g. an RLL design): only key-gate
+            # reads (if enabled) decide bits; the rest stay undecided.
+            extra = {"n_sites": 0, "note": "no MUX sites"}
+            if self.keygates:
+                extra["n_keygate_sites"] = n_keygate_sites
+            return self._report(locked, guesses, started, extra=extra)
 
         margins: dict[str, float] = {}
         site_scores: dict[str, tuple[float, float]] = {}
@@ -193,6 +214,8 @@ class MuxLinkAttack(Attack):
             "predictor": self.predictor_name,
             "ensemble": self.ensemble,
         }
+        if self.keygates:
+            extra["n_keygate_sites"] = n_keygate_sites
         if final_losses:
             extra["final_train_loss"] = final_losses[-1]
         return self._report(locked, guesses, started, extra=extra)

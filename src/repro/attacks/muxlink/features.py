@@ -164,8 +164,60 @@ def _neighbor_type_histogram(graph: ObservedGraph, u: int) -> np.ndarray:
     return hist / total if total > 0 else hist
 
 
-#: dimensionality of :func:`link_feature_vector`
+#: dimensionality of :func:`link_feature_vector` (the keygate-free prefix)
 LINK_FEATURE_DIM = N_TYPES * 2 + 3 + 3 + 6 + 7 + 2 + N_TYPES * 2
+
+#: key-gate kind vocabulary for the opt-in ``keygate_cols`` columns.
+KEYGATE_KIND_VOCAB: list[str] = ["XOR", "XNOR", "AND", "OR"]
+_KEYGATE_INDEX = {k: i for i, k in enumerate(KEYGATE_KIND_VOCAB)}
+N_KEYGATE_KINDS = len(KEYGATE_KIND_VOCAB)
+
+
+def link_feature_dim(keygate_cols: bool = False) -> int:
+    """Row width of the link descriptors.
+
+    With ``keygate_cols`` the byte-identical :data:`LINK_FEATURE_DIM`
+    prefix is followed by two per-endpoint key-gate-kind one-hots, so
+    ``xor``/``and_or`` insertions become visible to the predictors.
+    """
+    return LINK_FEATURE_DIM + (2 * N_KEYGATE_KINDS if keygate_cols else 0)
+
+
+def feature_group_slices(keygate_cols: bool = False) -> dict[str, slice]:
+    """Named column groups of a link descriptor (for feature weighting).
+
+    Slices partition the full row; group names are the vocabulary used by
+    the MLP predictor's ``feature_weights`` knob and the attacker-genome
+    ``feature_weight_*`` fields.
+    """
+    b = 0
+    groups: dict[str, slice] = {}
+    for name, width in (
+        ("types", 2 * N_TYPES),
+        ("degrees", 3),
+        ("common", 3),
+        ("distance", 6),
+        ("level_delta", 7),
+        ("levels", 2),
+        ("hist", 2 * N_TYPES),
+    ):
+        groups[name] = slice(b, b + width)
+        b += width
+    if keygate_cols:
+        groups["keygate"] = slice(b, b + 2 * N_KEYGATE_KINDS)
+    return groups
+
+
+def _write_keygate_cols(
+    graph: ObservedGraph, feats: np.ndarray, u: int, v: int
+) -> None:
+    """Fill the per-endpoint key-gate-kind one-hots after the prefix."""
+    ku = graph.keygate_kinds.get(u)
+    if ku is not None:
+        feats[LINK_FEATURE_DIM + _KEYGATE_INDEX[ku]] = 1.0
+    kv = graph.keygate_kinds.get(v)
+    if kv is not None:
+        feats[LINK_FEATURE_DIM + N_KEYGATE_KINDS + _KEYGATE_INDEX[kv]] = 1.0
 
 
 def _level_delta_onehot(delta: int) -> np.ndarray:
@@ -180,16 +232,21 @@ def _level_delta_onehot(delta: int) -> np.ndarray:
     return onehot
 
 
-def link_feature_vector(graph: ObservedGraph, u: int, v: int) -> np.ndarray:
+def link_feature_vector(
+    graph: ObservedGraph, u: int, v: int, keygate_cols: bool = False
+) -> np.ndarray:
     """Descriptor of candidate link ``u → v`` (edge masked if present).
 
     Layout: [type(u) | type(v) | log-degrees(u, v, min) | CN, Jaccard,
     Adamic-Adar | distance one-hot (1..5+) | level-delta one-hot |
     scaled levels | neighbour-type hist(u) | neighbour-type hist(v)].
+    ``keygate_cols`` appends two key-gate-kind one-hots after that
+    prefix, leaving the first :data:`LINK_FEATURE_DIM` columns
+    byte-identical to the historical extractor.
     """
     removed = graph.remove_undirected(u, v)
     try:
-        feats = np.zeros(LINK_FEATURE_DIM, dtype=np.float64)
+        feats = np.zeros(link_feature_dim(keygate_cols), dtype=np.float64)
         feats[type_index(graph.gtypes[u])] = 1.0
         feats[N_TYPES + type_index(graph.gtypes[v])] = 1.0
         base = 2 * N_TYPES
@@ -218,6 +275,8 @@ def link_feature_vector(graph: ObservedGraph, u: int, v: int) -> np.ndarray:
         base += 2
         feats[base : base + N_TYPES] = _neighbor_type_histogram(graph, u)
         feats[base + N_TYPES : base + 2 * N_TYPES] = _neighbor_type_histogram(graph, v)
+        if keygate_cols:
+            _write_keygate_cols(graph, feats, u, v)
         return feats
     finally:
         if removed:
@@ -256,7 +315,9 @@ def _bounded_distances_to(
 
 
 def link_feature_matrix(
-    graph: ObservedGraph, pairs: list[tuple[int, int]]
+    graph: ObservedGraph,
+    pairs: list[tuple[int, int]],
+    keygate_cols: bool = False,
 ) -> np.ndarray:
     """:func:`link_feature_vector` for many candidate links at once.
 
@@ -271,7 +332,7 @@ def link_feature_matrix(
     the shared caches.
     """
     n = len(pairs)
-    out = np.zeros((n, LINK_FEATURE_DIM), dtype=np.float64)
+    out = np.zeros((n, link_feature_dim(keygate_cols)), dtype=np.float64)
     if not pairs:
         return out
     max_level = max(max(graph.levels), 1)
@@ -302,10 +363,13 @@ def link_feature_matrix(
     by_consumer: dict[int, set[int]] = {}
     for row, (u, v) in enumerate(pairs):
         if v in adj[u]:
-            out[row] = link_feature_vector(graph, u, v)
+            out[row] = link_feature_vector(graph, u, v, keygate_cols=keygate_cols)
         else:
             fast.append((row, u, v))
             by_consumer.setdefault(v, set()).add(u)
+    if keygate_cols:
+        for row, u, v in fast:
+            _write_keygate_cols(graph, out[row], u, v)
     if not fast:
         return out
 
@@ -353,7 +417,7 @@ def link_feature_matrix(
         feats[2 * N_TYPES + 5] = float(aa)
 
         feats[LINK_FEATURE_DIM - 2 * N_TYPES : LINK_FEATURE_DIM - N_TYPES] = hist(u)
-        feats[LINK_FEATURE_DIM - N_TYPES :] = hist(v)
+        feats[LINK_FEATURE_DIM - N_TYPES : LINK_FEATURE_DIM] = hist(v)
 
     # Vectorised columns: elementwise ufuncs/divisions reproduce the
     # scalar per-pair values bit for bit.

@@ -33,6 +33,27 @@ class MuxQuery:
     consumers: tuple[str, ...]
 
 
+#: What an *observed* key-gate kind says about its key bit, per the
+#: published insertion conventions (EPIC XOR/XNOR, AND/OR masking): a
+#: correct-key-transparent gate of kind XOR was inserted for bit 0, XNOR
+#: for bit 1, AND for bit 1, OR for bit 0. Naive (unsynthesised) RLL and
+#: the xor/and_or locking primitives both leak the bit this way.
+KEYGATE_KIND_BIT: dict[str, int] = {"XOR": 0, "XNOR": 1, "AND": 1, "OR": 0}
+
+
+@dataclass(frozen=True)
+class KeyGateQuery:
+    """One non-MUX key gate (XOR/XNOR/AND/OR) visible to the attacker.
+
+    ``kind`` is the observed gate type; :data:`KEYGATE_KIND_BIT` maps it
+    to the key bit the insertion convention implies.
+    """
+
+    gate: str
+    key_name: str
+    kind: str
+
+
 @dataclass
 class ObservedGraph:
     """Undirected graph over observed signals with gate-type labels.
@@ -52,6 +73,10 @@ class ObservedGraph:
     #: an attacker can always compute this, and locality in levels is the
     #: key structural signal separating true links from D-MUX decoys.
     levels: list[int] = field(default_factory=list)
+    #: node index -> observed key-gate kind ("XOR"/"XNOR"/"AND"/"OR") for
+    #: nodes whose dropped fanin was a key input. Empty on pure-MUX
+    #: designs, so pre-keygate behaviour (and every golden) is untouched.
+    keygate_kinds: dict[int, str] = field(default_factory=dict)
     #: bumped on every adjacency mutation; invalidates the CSR snapshot.
     _adj_version: int = field(default=0, repr=False)
     _csr_cache: tuple[int, np.ndarray, np.ndarray] | None = field(
@@ -187,6 +212,12 @@ def extract_observed(netlist: Netlist) -> tuple[ObservedGraph, list[MuxQuery]]:
         g_idx = graph.index[gate.name]
         for src in gate.fanins:
             if src in key_set:
+                # The key fanin is invisible to the attacker, but the
+                # *kind* of the gate that consumed it is not: annotate
+                # XOR/XNOR/AND/OR key gates so key-gate-aware features
+                # (and the SAAM kind-read) can score these bits too.
+                if gate.gtype.value in KEYGATE_KIND_BIT:
+                    graph.keygate_kinds[g_idx] = gate.gtype.value
                 continue
             if is_key_mux(src):
                 mux_consumers.setdefault(src, []).append(gate.name)
@@ -208,3 +239,29 @@ def extract_observed(netlist: Netlist) -> tuple[ObservedGraph, list[MuxQuery]]:
         )
     graph.compute_levels()
     return graph, queries
+
+
+def extract_keygates(netlist: Netlist) -> list[KeyGateQuery]:
+    """List the non-MUX key gates (XOR/XNOR/AND/OR) of ``netlist``.
+
+    Key-select MUXes are handled by :func:`extract_observed` as
+    :class:`MuxQuery` sites; this covers the complementary ``xor`` /
+    ``and_or`` insertion styles, whose observed gate *kind* leaks the key
+    bit per :data:`KEYGATE_KIND_BIT`. Deterministic (netlist iteration
+    order); uses only attacker-visible structure.
+    """
+    key_set = set(netlist.key_inputs)
+    sites: list[KeyGateQuery] = []
+    for gate in netlist.gates.values():
+        if gate.gtype is GateType.MUX:
+            continue
+        kind = gate.gtype.value
+        if kind not in KEYGATE_KIND_BIT:
+            continue
+        for src in gate.fanins:
+            if src in key_set:
+                sites.append(
+                    KeyGateQuery(gate=gate.name, key_name=src, kind=kind)
+                )
+                break
+    return sites

@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.muxlink.features import (
-    LINK_FEATURE_DIM,
+    feature_group_slices,
+    link_feature_dim,
     link_feature_matrix,
     make_training_pairs,
 )
@@ -40,12 +41,33 @@ class MlpLinkPredictor:
         lr: float = 5e-3,
         batch_size: int = 64,
         n_train: int = 600,
+        keygate_cols: bool = False,
+        feature_weights: dict[str, float] | None = None,
     ) -> None:
         self.hidden = hidden
         self.epochs = epochs
         self.lr = lr
         self.batch_size = batch_size
         self.n_train = n_train
+        self.keygate_cols = bool(keygate_cols)
+        groups = feature_group_slices(self.keygate_cols)
+        if feature_weights:
+            unknown = sorted(set(feature_weights) - set(groups))
+            if unknown:
+                raise AttackError(
+                    f"unknown feature_weights groups {unknown}; "
+                    f"choose from {sorted(groups)}"
+                )
+        self.feature_weights = dict(feature_weights or {})
+        # Per-column multipliers applied *after* normalisation — scaling
+        # raw columns would cancel in (x - mu) / sigma. `None` when every
+        # weight is 1.0, keeping the historical path byte-identical.
+        self._col_weights: np.ndarray | None = None
+        if any(w != 1.0 for w in self.feature_weights.values()):
+            weights = np.ones(link_feature_dim(self.keygate_cols))
+            for group, w in self.feature_weights.items():
+                weights[groups[group]] = float(w)
+            self._col_weights = weights
         self._model: Sequential | None = None
         self._mu: np.ndarray | None = None
         self._sigma: np.ndarray | None = None
@@ -59,17 +81,24 @@ class MlpLinkPredictor:
         pairs, labels = make_training_pairs(graph, self.n_train, seeds[0])
         if not pairs:
             raise AttackError("observed graph has no wires to train on")
-        x = link_feature_matrix(graph, pairs)
+        x = link_feature_matrix(graph, pairs, keygate_cols=self.keygate_cols)
         y = labels.reshape(-1, 1)
 
         self._mu = x.mean(axis=0)
         self._sigma = x.std(axis=0) + 1e-8
         x_norm = (x - self._mu) / self._sigma
+        if self._col_weights is not None:
+            x_norm = x_norm * self._col_weights
 
         h1, h2 = self.hidden
         self._model = Sequential(
             [
-                Linear(LINK_FEATURE_DIM, h1, seed_or_rng=seeds[1], name="l1"),
+                Linear(
+                    link_feature_dim(self.keygate_cols),
+                    h1,
+                    seed_or_rng=seeds[1],
+                    name="l1",
+                ),
                 ReLU(),
                 Linear(h1, h2, seed_or_rng=seeds[2], name="l2"),
                 ReLU(),
@@ -104,8 +133,12 @@ class MlpLinkPredictor:
         """
         if self._model is None or self._graph is None:
             raise AttackError("predictor not fitted")
-        x = link_feature_matrix(self._graph, list(pairs))
+        x = link_feature_matrix(
+            self._graph, list(pairs), keygate_cols=self.keygate_cols
+        )
         x_norm = (x - self._mu) / self._sigma
+        if self._col_weights is not None:
+            x_norm = x_norm * self._col_weights
         # Inlined per-row forward: same ops as Linear (x @ W + b) and
         # ReLU (x * (x > 0)) without the layer-dispatch overhead, which
         # at one-row batches costs more than the matmuls themselves.

@@ -287,6 +287,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_coevo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import CoevoSpec, run_coevo
+    from repro.errors import ReproError, SpecError
+
+    try:
+        alphabet = _parse_alphabet(args.alphabet)
+        attacker: dict = {}
+        if args.attacker is not None:
+            try:
+                attacker = json.loads(args.attacker)
+            except json.JSONDecodeError as exc:
+                raise SpecError(
+                    f"--attacker is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(attacker, dict):
+                raise SpecError(
+                    f"--attacker must be a JSON object of attacker-genome "
+                    f"fields, got {attacker!r}"
+                )
+        if args.predictor is not None:
+            attacker["predictor"] = args.predictor
+        spec = CoevoSpec(
+            circuit=args.circuit,
+            key_length=args.key_length,
+            epochs=args.epochs,
+            lock_population=args.lock_pop,
+            lock_generations=args.lock_generations,
+            attacker_population=args.attacker_pop,
+            attacker=attacker,
+            seed=args.seed,
+            workers=args.workers,
+            cache_path=args.cache,
+            store=args.store,
+            trace=args.trace,
+        )
+        if alphabet is not None:
+            spec = spec.with_updates(alphabet=alphabet)
+        result = run_coevo(spec, out_dir=args.out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.describe())
+    for epoch in result.record["epochs"]:
+        best = epoch["attacker_best"]
+        attack = best["attack"]
+        if attack == "muxlink":
+            attack = f"muxlink/{best['predictor']}"
+        print(
+            f"  epoch {epoch['epoch']}: lock_fitness="
+            f"{epoch['lock_best_fitness']:.3f} "
+            f"best_attacker={attack} "
+            f"elite_vs_best={epoch['elite_vs_best']:.3f} "
+            f"epoch0_vs_best={epoch['epoch0_vs_best']:.3f}"
+        )
+    if args.out:
+        print(f"artifacts: {result.results_path} + {result.manifest_path}")
+    return 0
+
+
 def _apply_token(token: str | None) -> None:
     """Export ``--token`` for every HttpStore this process (and its
     worker children) opens; an explicit flag wins over the environment."""
@@ -773,6 +834,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_loop_mode_flags(p_sweep)
     _add_trace_flag(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_coevo = sub.add_parser(
+        "coevo",
+        help="adversarial co-evolution: attacker panels vs. the lock "
+        "population",
+    )
+    p_coevo.add_argument("circuit")
+    p_coevo.add_argument("--key-length", type=int, default=16)
+    p_coevo.add_argument(
+        "--epochs", type=int, default=3,
+        help="arms-race epochs (one lock GA + one attacker generation each)",
+    )
+    p_coevo.add_argument(
+        "--lock-pop", type=int, default=8, metavar="N",
+        help="lock population per epoch",
+    )
+    p_coevo.add_argument(
+        "--lock-generations", type=int, default=4, metavar="N",
+        help="lock GA generations per epoch",
+    )
+    p_coevo.add_argument(
+        "--attacker-pop", type=int, default=6, metavar="N",
+        help="attacker population per epoch",
+    )
+    p_coevo.add_argument(
+        "--attacker", default=None, metavar="JSON",
+        help="baseline attacker-genome overrides as a JSON object "
+        "(field names from repro.coevo.GENOME_FIELDS, e.g. "
+        '\'{"attack": "saam"}\')',
+    )
+    p_coevo.add_argument(
+        "--predictor", default=None,
+        help="shorthand for the baseline genome's muxlink predictor "
+        "backend (see `autolock plugins`)",
+    )
+    p_coevo.add_argument("--seed", type=int, default=0)
+    p_coevo.add_argument(
+        "--workers", type=int, default=1,
+        help="evaluation worker processes shared by both sides "
+        "(default 1 = serial; the trajectory is byte-identical either way)",
+    )
+    p_coevo.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persist epoch checkpoints and evaluations to this store; "
+        "an interrupted run resumes with zero recomputation",
+    )
+    p_coevo.add_argument(
+        "--store", default=None, metavar="BACKEND",
+        help="store backend for the cache path (default: inferred from "
+        "the path suffix)",
+    )
+    p_coevo.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write per-epoch JSONL records (both populations) + manifest",
+    )
+    _add_alphabet_flag(p_coevo)
+    _add_trace_flag(p_coevo)
+    p_coevo.set_defaults(func=_cmd_coevo)
 
     p_worker = sub.add_parser(
         "worker",

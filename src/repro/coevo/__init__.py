@@ -1,0 +1,40 @@
+"""Adversarial co-evolution: attacker panels vs. the lock population.
+
+Two populations evolve in alternating epochs. The *lock* side reuses the
+existing genotypes, operators and :class:`~repro.ec.ga.GeneticAlgorithm`
+unchanged; its fitness is resilience against a hall-of-fame panel of the
+strongest attackers seen so far. The *attacker* side evolves
+:class:`~repro.coevo.genome.AttackerGenome` configuration vectors —
+attack choice, predictor choice and hyperparameters drawn from the
+``ATTACKS``/``PREDICTORS`` registries — whose fitness is key-recovery
+accuracy against the current lock elite, scored in one batched evaluator
+pass per generation.
+
+See :mod:`repro.coevo.engine` for the arms-race driver and
+:mod:`repro.api.coevo` for the declarative :class:`CoevoSpec` front end
+(``autolock coevo`` on the CLI).
+"""
+
+from repro.coevo.engine import (
+    CoevoEngine,
+    CoevoEpoch,
+    CoevoResult,
+    LockVsPanelFitness,
+    AttackerVsEliteFitness,
+)
+from repro.coevo.genome import (
+    GENOME_FIELDS,
+    AttackerGenome,
+    GenomeField,
+)
+
+__all__ = [
+    "AttackerGenome",
+    "AttackerVsEliteFitness",
+    "CoevoEngine",
+    "CoevoEpoch",
+    "CoevoResult",
+    "GENOME_FIELDS",
+    "GenomeField",
+    "LockVsPanelFitness",
+]

@@ -1,0 +1,324 @@
+"""Attacker genomes: registry-described attack configuration vectors.
+
+An :class:`AttackerGenome` is the unit of evolution on the attacker side
+of the arms race — a flat, validated configuration vector selecting an
+attack from the ``ATTACKS`` registry plus the hyperparameters that
+attack (and, for ``muxlink``, its ``PREDICTORS`` backend) accepts:
+ensemble size, training budget, per-group feature weights, key-gate
+awareness, SAAM degree weighting, SCOPE margin, SAT iteration budget.
+
+The genome is deliberately *gene-shaped*: :meth:`AttackerGenome.key_tuple`
+returns a flat tuple of JSON scalars, so a one-element list
+``[genome]`` flows through :func:`repro.ec.genotype.genotype_key`, the
+batched evaluators' dedupe, :class:`~repro.ec.fitness.FitnessCache`
+JSON round-trips and process-pool pickling exactly like a lock
+genotype — no parallel plumbing, one cache, one evaluator.
+
+The :data:`GENOME_FIELDS` descriptor table drives everything:
+validation (unknown fields and unknown registry names are rejected with
+the registries listed, matching the CLI error contract), deterministic
+mutation/crossover/random sampling, and the ``to_attack()`` projection
+that forwards each hyperparameter only to the attack that accepts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import SpecError
+from repro.registry import ATTACKS, PREDICTORS
+
+#: feature groups exposed as ``feature_weight_<group>`` genome fields
+#: (the MLP predictor's post-normalisation column weights).
+FEATURE_WEIGHT_GROUPS: tuple[str, ...] = (
+    "types",
+    "degrees",
+    "common",
+    "distance",
+    "level_delta",
+    "levels",
+    "hist",
+    "keygate",
+)
+
+
+@dataclass(frozen=True)
+class GenomeField:
+    """One knob of the attacker configuration vector.
+
+    ``kind`` is ``"choice"`` (pick from ``choices``), ``"int"`` /
+    ``"float"`` (uniform in ``[low, high]``), or ``"bool"``. ``attack``
+    restricts the knob to one attack (``None`` = applies to the genome
+    itself); ``registry`` names the registry that validates a choice
+    value at :meth:`AttackerGenome.validate` time.
+    """
+
+    name: str
+    kind: str
+    default: Any
+    choices: tuple = ()
+    low: float = 0.0
+    high: float = 1.0
+    attack: str | None = None
+    registry: str | None = None
+
+    def random(self, rng) -> Any:
+        if self.kind == "choice":
+            return self.choices[int(rng.integers(0, len(self.choices)))]
+        if self.kind == "bool":
+            return bool(rng.integers(0, 2))
+        if self.kind == "int":
+            return int(rng.integers(int(self.low), int(self.high) + 1))
+        return float(rng.uniform(self.low, self.high))
+
+    def mutate(self, value: Any, rng) -> Any:
+        """Small deterministic perturbation of ``value``."""
+        if self.kind == "choice":
+            return self.choices[int(rng.integers(0, len(self.choices)))]
+        if self.kind == "bool":
+            return not bool(value)
+        if self.kind == "int":
+            step = int(rng.integers(-2, 3))
+            return int(min(int(self.high), max(int(self.low), int(value) + step)))
+        jitter = float(rng.normal(0.0, 0.25 * (self.high - self.low)))
+        return float(min(self.high, max(self.low, float(value) + jitter)))
+
+    def check(self, value: Any) -> Any:
+        """Validate + normalise one value (raises :class:`SpecError`)."""
+        if self.kind == "choice":
+            if value not in self.choices:
+                # Registry-backed choices get the registry's own error
+                # message (listing what is available) via validate().
+                if self.registry is None:
+                    raise SpecError(
+                        f"invalid {self.name!r} value {value!r}; "
+                        f"choose from {sorted(self.choices)}"
+                    )
+            return value
+        if self.kind == "bool":
+            if not isinstance(value, bool):
+                raise SpecError(
+                    f"field {self.name!r} wants a bool, got {value!r}"
+                )
+            return value
+        if self.kind == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(
+                    f"field {self.name!r} wants an int, got {value!r}"
+                )
+            if not int(self.low) <= value <= int(self.high):
+                raise SpecError(
+                    f"field {self.name!r} must be in "
+                    f"[{int(self.low)}, {int(self.high)}], got {value}"
+                )
+            return int(value)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SpecError(
+                f"field {self.name!r} wants a float, got {value!r}"
+            )
+        if not self.low <= float(value) <= self.high:
+            raise SpecError(
+                f"field {self.name!r} must be in "
+                f"[{self.low}, {self.high}], got {value}"
+            )
+        return float(value)
+
+
+def _build_fields() -> dict[str, GenomeField]:
+    fields = [
+        GenomeField(
+            "attack", "choice", "muxlink",
+            choices=("muxlink", "saam", "scope", "sat"),
+            registry="attacks",
+        ),
+        # muxlink knobs
+        GenomeField(
+            "predictor", "choice", "bayes",
+            choices=("bayes", "mlp", "gnn"),
+            attack="muxlink", registry="predictors",
+        ),
+        GenomeField("ensemble", "int", 1, low=1, high=3, attack="muxlink"),
+        GenomeField("threshold", "float", 0.0, low=0.0, high=2.0, attack="muxlink"),
+        GenomeField("keygates", "bool", False, attack="muxlink"),
+        GenomeField("epochs", "int", 12, low=2, high=60, attack="muxlink"),
+        GenomeField("n_train", "int", 200, low=40, high=800, attack="muxlink"),
+        GenomeField("keygate_cols", "bool", False, attack="muxlink"),
+        # saam knobs
+        GenomeField("degree_weight", "float", 0.5, low=0.0, high=2.0, attack="saam"),
+        GenomeField("kind_read", "bool", True, attack="saam"),
+        GenomeField(
+            "saam_threshold", "float", 0.0, low=0.0, high=1.0, attack="saam"
+        ),
+        # scope knobs
+        GenomeField("margin", "float", 1e-9, low=0.0, high=0.5, attack="scope"),
+        # sat knobs
+        GenomeField(
+            "max_iterations", "int", 64, low=4, high=512, attack="sat"
+        ),
+    ]
+    fields += [
+        GenomeField(
+            f"feature_weight_{group}", "float", 1.0,
+            low=0.1, high=4.0, attack="muxlink",
+        )
+        for group in FEATURE_WEIGHT_GROUPS
+    ]
+    return {f.name: f for f in fields}
+
+
+#: descriptor table: field name -> :class:`GenomeField`.
+GENOME_FIELDS: dict[str, GenomeField] = _build_fields()
+
+#: muxlink fields consumed by the predictor constructor (everything else
+#: muxlink-owned goes to the attack constructor itself).
+_PREDICTOR_FIELDS = ("epochs", "n_train")
+
+
+@dataclass(frozen=True)
+class AttackerGenome:
+    """One attacker: a validated point in the configuration space.
+
+    Immutable and hashable; ``values`` holds only the fields that differ
+    from nothing — every :data:`GENOME_FIELDS` entry is always present,
+    resolved against its default at construction.
+    """
+
+    values: tuple[tuple[str, Any], ...] = field(default=())
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict[str, Any] | None) -> "AttackerGenome":
+        """Build from overrides, rejecting unknown fields.
+
+        The error contract matches ``ExperimentSpec.from_dict``: unknown
+        keys list the known vocabulary so the CLI exits 2 with the
+        registry-style message.
+        """
+        data = dict(data or {})
+        unknown = sorted(set(data) - set(GENOME_FIELDS))
+        if unknown:
+            raise SpecError(
+                f"unknown attacker-genome fields: {unknown}; "
+                f"known fields: {sorted(GENOME_FIELDS)}"
+            )
+        resolved = {}
+        for name, spec in GENOME_FIELDS.items():
+            resolved[name] = spec.check(data.get(name, spec.default))
+        return cls(values=tuple(sorted(resolved.items())))
+
+    @classmethod
+    def random(cls, rng, mutable: Iterable[str] | None = None) -> "AttackerGenome":
+        """Uniform sample (restricted to ``mutable`` fields if given)."""
+        allowed = set(mutable) if mutable is not None else set(GENOME_FIELDS)
+        resolved = {
+            name: spec.random(rng) if name in allowed else spec.default
+            for name, spec in GENOME_FIELDS.items()
+        }
+        return cls(values=tuple(sorted(resolved.items())))
+
+    # -- views ----------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return dict(self.values)
+
+    def get(self, name: str) -> Any:
+        return dict(self.values)[name]
+
+    @property
+    def attack(self) -> str:
+        return self.get("attack")
+
+    def key_tuple(self) -> tuple:
+        """Flat scalar tuple — the gene protocol hook.
+
+        ``[genome]`` therefore has a
+        :func:`~repro.ec.genotype.genotype_key` of one flat tuple of
+        JSON scalars, which survives the cache's JSON round-trip
+        (``tuple(tuple(g) for g in json.loads(...))``) unchanged.
+        """
+        flat: list[Any] = ["attacker"]
+        for name, value in self.values:
+            flat.append(name)
+            flat.append(int(value) if isinstance(value, bool) else value)
+        return tuple(flat)
+
+    # -- validation -----------------------------------------------------
+    def validate(self) -> "AttackerGenome":
+        """Range-check every field and resolve registry names.
+
+        Unknown attack / predictor names raise
+        :class:`~repro.errors.RegistryError` listing the registry —
+        the same message the ``--attack`` / ``--scheme`` CLI paths
+        produce.
+        """
+        data = self.to_dict()
+        for name, spec in GENOME_FIELDS.items():
+            spec.check(data[name])
+        ATTACKS.get(data["attack"])
+        PREDICTORS.get(data["predictor"])
+        return self
+
+    # -- projection -----------------------------------------------------
+    def to_attack(self) -> tuple[str, dict[str, Any]]:
+        """``(attack_name, constructor_params)`` for ``create_attack``.
+
+        Only knobs the chosen attack accepts are forwarded; for
+        ``muxlink`` the predictor-owned knobs (``epochs``/``n_train``/
+        feature weights) ride along as ``predictor_kwargs`` — and only
+        for the learned predictors that accept them.
+        """
+        data = self.to_dict()
+        attack = data["attack"]
+        params: dict[str, Any] = {}
+        if attack == "muxlink":
+            params["predictor"] = data["predictor"]
+            params["ensemble"] = data["ensemble"]
+            params["threshold"] = data["threshold"]
+            params["keygates"] = data["keygates"]
+            if data["predictor"] in ("mlp", "gnn"):
+                params["epochs"] = data["epochs"]
+                params["n_train"] = data["n_train"]
+            if data["predictor"] == "mlp":
+                params["keygate_cols"] = data["keygate_cols"]
+                weights = {
+                    group: data[f"feature_weight_{group}"]
+                    for group in FEATURE_WEIGHT_GROUPS
+                    if group != "keygate" or data["keygate_cols"]
+                }
+                if any(w != 1.0 for w in weights.values()):
+                    params["feature_weights"] = weights
+        elif attack == "saam":
+            params["degree_weight"] = data["degree_weight"]
+            params["kind_read"] = data["kind_read"]
+            params["threshold"] = data["saam_threshold"]
+        elif attack == "scope":
+            params["margin"] = data["margin"]
+        elif attack == "sat":
+            params["max_iterations"] = data["max_iterations"]
+        return attack, params
+
+    # -- variation ------------------------------------------------------
+    def mutate(self, rng, rate: float = 0.35) -> "AttackerGenome":
+        """Per-field perturbation; always flips at least one field."""
+        data = self.to_dict()
+        names = sorted(data)
+        flips = [name for name in names if rng.random() < rate]
+        if not flips:
+            flips = [names[int(rng.integers(0, len(names)))]]
+        for name in flips:
+            data[name] = GENOME_FIELDS[name].mutate(data[name], rng)
+        return AttackerGenome(values=tuple(sorted(data.items())))
+
+    def crossover(self, other: "AttackerGenome", rng) -> "AttackerGenome":
+        """Uniform crossover over the sorted field list."""
+        a, b = self.to_dict(), other.to_dict()
+        child = {
+            name: (a[name] if rng.random() < 0.5 else b[name])
+            for name in sorted(a)
+        }
+        return AttackerGenome(values=tuple(sorted(child.items())))
+
+
+def baseline_genome(overrides: dict[str, Any] | None = None) -> AttackerGenome:
+    """The epoch-0 attacker: defaults plus ``overrides``, validated."""
+    return AttackerGenome.from_dict(overrides).validate()

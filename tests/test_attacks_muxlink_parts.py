@@ -6,13 +6,21 @@ import pytest
 from repro.attacks.muxlink import extract_observed
 from repro.attacks.muxlink.features import (
     LINK_FEATURE_DIM,
+    N_KEYGATE_KINDS,
+    feature_group_slices,
+    link_feature_dim,
+    link_feature_matrix,
     link_feature_vector,
     make_training_pairs,
     subgraph_feature_dim,
     subgraph_feature_matrix,
     type_index,
 )
-from repro.attacks.muxlink.graph import ObservedGraph
+from repro.attacks.muxlink.graph import (
+    KEYGATE_KIND_BIT,
+    ObservedGraph,
+    extract_keygates,
+)
 from repro.attacks.muxlink.subgraph import (
     drnl_from_distances,
     extract_enclosing_subgraph,
@@ -184,6 +192,58 @@ def test_subgraph_feature_matrix_shape(dmux_locked):
     # Exactly one type bit and one DRNL bit per node.
     assert np.all(feats[:, :12].sum(axis=1) == 1.0)
     assert np.all(feats[:, 12 : 12 + 9].sum(axis=1) == 1.0)
+
+
+# ------------------------------------------------------- key-gate features
+def test_keygate_cols_pure_mux_prefix_byte_identical(dmux_locked):
+    """Golden pin: on a pure-MUX netlist the widened feature rows carry
+    the classic 69 columns byte-for-byte, and the 8 key-gate columns
+    stay all-zero — the default path cannot drift."""
+    graph, queries = extract_observed(dmux_locked.netlist)
+    q = queries[0]
+    u, v = graph.index[q.d0], graph.index[q.consumers[0]]
+    plain = link_feature_vector(graph, u, v)
+    wide = link_feature_vector(graph, u, v, keygate_cols=True)
+    assert wide.shape == (LINK_FEATURE_DIM + 2 * N_KEYGATE_KINDS,)
+    assert np.array_equal(wide[:LINK_FEATURE_DIM], plain)
+    assert np.all(wide[LINK_FEATURE_DIM:] == 0.0)
+
+    pairs, _ = make_training_pairs(graph, 40, seed_or_rng=3)
+    plain_m = link_feature_matrix(graph, pairs)
+    wide_m = link_feature_matrix(graph, pairs, keygate_cols=True)
+    assert np.array_equal(wide_m[:, :LINK_FEATURE_DIM], plain_m)
+    assert np.all(wide_m[:, LINK_FEATURE_DIM:] == 0.0)
+
+
+def test_keygate_cols_one_hot_on_keygates(rll_locked):
+    graph, _ = extract_observed(rll_locked.netlist)
+    assert graph.keygate_kinds, "RLL key gates must be annotated"
+    node, kind = next(iter(graph.keygate_kinds.items()))
+    assert kind in KEYGATE_KIND_BIT
+    peer = (node + 1) % graph.n_nodes
+    vec = link_feature_vector(graph, node, peer, keygate_cols=True)
+    u_cols = vec[LINK_FEATURE_DIM : LINK_FEATURE_DIM + N_KEYGATE_KINDS]
+    assert u_cols.sum() == 1.0, "endpoint u gets exactly one kind bit"
+
+
+def test_extract_keygates_matches_insertions(rll_locked):
+    sites = extract_keygates(rll_locked.netlist)
+    assert len(sites) == 8
+    truth = dict(rll_locked.key)
+    for site in sites:
+        assert KEYGATE_KIND_BIT[site.kind] == truth[site.key_name]
+
+
+def test_feature_group_slices_partition():
+    for keygate_cols in (False, True):
+        slices = feature_group_slices(keygate_cols=keygate_cols)
+        dim = link_feature_dim(keygate_cols=keygate_cols)
+        covered = sorted(
+            i for s in slices.values() for i in range(s.start, s.stop)
+        )
+        assert covered == list(range(dim)), "groups must tile the row"
+        assert ("keygate" in slices) == keygate_cols
+    assert link_feature_dim() == LINK_FEATURE_DIM
 
 
 def test_type_index_fallback():

@@ -1,9 +1,9 @@
-"""SnapShot locality-vector attack."""
+"""SnapShot locality-vector attack, plus the SAAM structural attack."""
 
 import numpy as np
 import pytest
 
-from repro.attacks import SnapShotAttack
+from repro.attacks import SaamAttack, SnapShotAttack
 from repro.attacks.snapshot import locality_vector
 from repro.circuits import load_circuit
 from repro.locking import DMuxLocking, RandomLogicLocking
@@ -53,6 +53,38 @@ def test_snapshot_threshold_abstains():
     locked = RandomLogicLocking().lock(circuit, 8, seed_or_rng=2)
     report = SnapShotAttack(threshold=1e9).run(locked, seed_or_rng=3)
     assert report.score.coverage == 0.0
+
+
+# ------------------------------------------------------------------- SAAM
+def test_saam_kind_read_cracks_rll(rll_locked):
+    """XOR/XNOR key-gate kinds leak the key outright (snapshot pin)."""
+    report = SaamAttack().run(rll_locked)
+    assert report.extra["n_sites"] == 0  # no MUX sites on RLL
+    assert report.extra["n_keygate_sites"] == 8
+    assert report.accuracy == 1.0
+
+
+def test_saam_undecided_on_dmux_shared(dmux_locked):
+    """D-MUX shared pairs are structurally symmetric: every margin ties,
+    SAAM abstains on every bit (snapshot pin — the 0.5 floor)."""
+    report = SaamAttack().run(dmux_locked)
+    assert report.extra["n_sites"] == 16
+    assert report.extra["n_keygate_sites"] == 0
+    assert report.accuracy == 0.5
+    assert report.score.coverage == 0.0
+
+
+def test_saam_deterministic(dmux_locked):
+    a = SaamAttack().run(dmux_locked)
+    b = SaamAttack().run(dmux_locked)
+    assert a.guesses == b.guesses
+    assert a.extra["margins"] == b.extra["margins"]
+
+
+def test_saam_kind_read_off_is_blind_on_rll(rll_locked):
+    report = SaamAttack(kind_read=False).run(rll_locked)
+    assert report.extra["n_keygate_sites"] == 0
+    assert report.accuracy == 0.5
 
 
 def test_relocking_skips_key_wires():

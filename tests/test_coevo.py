@@ -1,0 +1,215 @@
+"""Adversarial co-evolution: genomes, the arms race, resume, CLI."""
+
+import json
+
+import pytest
+
+from repro.api import CoevoSpec, run_coevo
+from repro.api.coevo import COEVO_NAMESPACE
+from repro.coevo import GENOME_FIELDS, AttackerGenome
+from repro.coevo.genome import baseline_genome
+from repro.ec.fitness import FitnessCache
+from repro.ec.genotype import genotype_key
+from repro.errors import RegistryError, SpecError
+from repro.utils.rng import derive_rng
+
+#: small but real arms race: three epochs on the registered 100-gate
+#: circuit, muxlink/bayes baseline — the seed is chosen so the epoch-0
+#: elite measurably loses to the final best attacker (see
+#: test_arms_race_hardens_locks).
+BASE = dict(
+    circuit="rand_100_7",
+    key_length=8,
+    epochs=3,
+    lock_population=8,
+    lock_generations=3,
+    attacker_population=4,
+    elite_size=1,
+    panel_size=2,
+    hall_size=4,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return run_coevo(CoevoSpec(**BASE, workers=1))
+
+
+# ------------------------------------------------------------------ genome
+def test_genome_unknown_fields_rejected():
+    with pytest.raises(SpecError, match="unknown attacker-genome fields"):
+        AttackerGenome.from_dict({"bogus_field": 1})
+    with pytest.raises(SpecError, match="known fields"):
+        AttackerGenome.from_dict({"also_bogus": 1})
+
+
+def test_genome_type_and_range_checks():
+    with pytest.raises(SpecError, match="wants a bool"):
+        AttackerGenome.from_dict({"keygates": 1})
+    with pytest.raises(SpecError, match="must be in"):
+        AttackerGenome.from_dict({"ensemble": 99})
+
+
+def test_genome_registry_validation():
+    with pytest.raises(RegistryError, match="available"):
+        baseline_genome({"attack": "nope"})
+    with pytest.raises(RegistryError, match="available"):
+        baseline_genome({"predictor": "nope"})
+
+
+def test_genome_key_tuple_survives_cache_json_roundtrip():
+    genome = baseline_genome({"attack": "saam", "degree_weight": 0.25})
+    key = genotype_key([genome])
+    restored = tuple(tuple(g) for g in json.loads(json.dumps(key)))
+    assert restored == key
+
+
+def test_genome_variation_deterministic():
+    genome = baseline_genome()
+    a = genome.mutate(derive_rng(3))
+    b = genome.mutate(derive_rng(3))
+    assert a == b and a != genome
+    other = baseline_genome({"attack": "saam"})
+    assert genome.crossover(other, derive_rng(5)) == genome.crossover(
+        other, derive_rng(5)
+    )
+
+
+def test_genome_to_attack_forwards_only_accepted_knobs():
+    saam = baseline_genome({"attack": "saam", "saam_threshold": 0.2})
+    name, params = saam.to_attack()
+    assert name == "saam" and params["threshold"] == 0.2
+    assert "predictor" not in params and "margin" not in params
+    bayes = baseline_genome({"predictor": "bayes", "epochs": 30})
+    _, params = bayes.to_attack()
+    assert "epochs" not in params, "bayes takes no training budget"
+
+
+def test_saam_registered():
+    from repro.registry import ATTACKS
+
+    assert "saam" in ATTACKS.available()
+
+
+# --------------------------------------------------------------- arms race
+def test_arms_race_hardens_locks(serial_run):
+    """Epoch-N elite strictly beats the epoch-0 elite against the
+    epoch-N best attacker — the subsystem's acceptance criterion."""
+    epochs = serial_run.result.epochs
+    assert len(epochs) >= 3
+    last = epochs[-1]
+    assert last.elite_vs_best < last.epoch0_vs_best
+    assert serial_run.improvement > 0
+    assert serial_run.record["improvement"] == pytest.approx(
+        last.epoch0_vs_best - last.elite_vs_best
+    )
+
+
+def test_epoch_records_carry_both_populations(serial_run):
+    for epoch in serial_run.record["epochs"]:
+        assert len(epoch["attacker_population"]) == BASE["attacker_population"]
+        assert epoch["lock_hall"] and epoch["panel"]
+        for entry in epoch["attacker_population"]:
+            AttackerGenome.from_dict(entry["genome"]).validate()
+        for entry in epoch["lock_hall"]:
+            assert len(entry["genotype"]) == BASE["key_length"]
+
+
+def test_worker_count_byte_identical(serial_run):
+    parallel = run_coevo(CoevoSpec(**BASE, workers=4))
+    a = [e.to_record() for e in serial_run.result.epochs]
+    b = [e.to_record() for e in parallel.result.epochs]
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert parallel.fingerprint == serial_run.fingerprint
+
+
+def test_warm_replay_and_epoch_resume(tmp_path):
+    cache = tmp_path / "coevo.sqlite"
+    spec = CoevoSpec(**BASE, cache_path=str(cache))
+    cold = run_coevo(spec)
+    assert cold.fresh_evaluations > 0 and not cold.from_cache
+
+    warm = run_coevo(spec)
+    assert warm.from_cache and warm.fresh_evaluations == 0
+    assert warm.record["epochs"] == [
+        e.to_record() for e in cold.result.epochs
+    ]
+
+    # Drop only the run-level memo: the per-epoch checkpoints must
+    # restore the whole trajectory with zero fresh evaluations.
+    FitnessCache(path=cache, namespace=COEVO_NAMESPACE).wipe_disk()
+    resumed = run_coevo(spec)
+    assert not resumed.from_cache
+    assert resumed.result.replayed_epochs == BASE["epochs"]
+    assert resumed.fresh_evaluations == 0
+    assert [e.to_record() for e in resumed.result.epochs] == [
+        e.to_record() for e in cold.result.epochs
+    ]
+
+
+def test_artifacts_one_line_per_epoch(tmp_path, serial_run):
+    out = tmp_path / "artifacts"
+    result = run_coevo(CoevoSpec(**BASE), out_dir=out)
+    lines = [
+        json.loads(line)
+        for line in result.results_path.read_text().splitlines()
+    ]
+    assert [l["kind"] for l in lines] == ["coevo-epoch"] * BASE["epochs"] + [
+        "coevo-summary"
+    ]
+    assert lines[-1]["fingerprint"] == serial_run.fingerprint
+
+
+# --------------------------------------------------------------------- spec
+def test_spec_unknown_fields_rejected():
+    with pytest.raises(SpecError, match="unknown CoevoSpec fields"):
+        CoevoSpec.from_dict({"circuit": "c17", "bogus": 1})
+
+
+def test_spec_fingerprint_ignores_execution_knobs():
+    a = CoevoSpec(**BASE)
+    b = a.with_updates(workers=8, cache_path="x.sqlite", tag="t", trace="t.jsonl")
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != a.with_updates(seed=8).fingerprint()
+
+
+def test_spec_fingerprint_resolves_attacker_defaults():
+    explicit = CoevoSpec(**BASE, attacker={"attack": "muxlink"})
+    assert explicit.fingerprint() == CoevoSpec(**BASE).fingerprint()
+    assert (
+        CoevoSpec(**BASE, attacker={"attack": "saam"}).fingerprint()
+        != CoevoSpec(**BASE).fingerprint()
+    )
+
+
+def test_spec_json_roundtrip():
+    spec = CoevoSpec(**BASE, attacker={"attack": "saam"})
+    assert CoevoSpec.from_json(spec.to_json()) == spec
+
+
+# ---------------------------------------------------------------------- cli
+def test_cli_rejects_unknown_genome_field(capsys):
+    from repro.cli import main
+
+    assert main(["coevo", "rand_100_7", "--attacker", '{"bogus": 1}']) == 2
+    err = capsys.readouterr().err
+    assert "unknown attacker-genome fields" in err and "degree_weight" in err
+
+
+def test_cli_rejects_unknown_predictor_and_attack(capsys):
+    from repro.cli import main
+
+    assert main(["coevo", "rand_100_7", "--predictor", "nope"]) == 2
+    assert "available: bayes, gnn, mlp" in capsys.readouterr().err
+    assert (
+        main(["coevo", "rand_100_7", "--attacker", '{"attack": "nope"}']) == 2
+    )
+    assert "available: muxlink" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_attacker_json(capsys):
+    from repro.cli import main
+
+    assert main(["coevo", "rand_100_7", "--attacker", "{not json"]) == 2
+    assert "not valid JSON" in capsys.readouterr().err

@@ -24,7 +24,9 @@ def test_builtin_schemes_registered():
 
 
 def test_builtin_attacks_registered():
-    assert available_attacks() == ["muxlink", "random", "sat", "scope", "snapshot"]
+    assert available_attacks() == [
+        "muxlink", "random", "saam", "sat", "scope", "snapshot"
+    ]
 
 
 def test_builtin_predictors_registered():
@@ -67,7 +69,7 @@ def test_create_engine_adapters_carry_names():
 
 # --------------------------------------------------------------- errors
 def test_unknown_name_error_lists_available():
-    with pytest.raises(RegistryError, match="muxlink, random, sat"):
+    with pytest.raises(RegistryError, match="muxlink, random, saam, sat"):
         create_attack("does_not_exist")
 
 
